@@ -1,0 +1,403 @@
+// Package repro's root benchmark harness regenerates every table and figure
+// of the paper's evaluation (scaled to laptop cost — durations and flow
+// counts are reduced; pass -tags/-benchtime as desired). Each benchmark
+// reports the headline quantity of its figure via b.ReportMetric so the
+// paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from
+// `go test -bench`.
+//
+// Map:
+//
+//	BenchmarkTable2FlowPlans      — Table 2 (iperf3 flow plans)
+//	BenchmarkFig2ThroughputFIFO   — Fig. 2 (per-sender throughput, FIFO)
+//	BenchmarkFig3JainFIFO         — Fig. 3 (Jain's index, FIFO)
+//	BenchmarkFig4ThroughputRED    — Fig. 4 (per-sender throughput, RED)
+//	BenchmarkFig5JainRED          — Fig. 5 (Jain's index, RED)
+//	BenchmarkFig6JainFQCoDel      — Fig. 6 (Jain's index, FQ_CODEL)
+//	BenchmarkFig7Utilization      — Fig. 7 (link utilization, intra-CCA)
+//	BenchmarkFig8Retransmissions  — Fig. 8 (retransmissions, intra-CCA)
+//	BenchmarkTable3Overall        — Table 3 (Avg φ / RR / J per pairing×AQM)
+//	BenchmarkBandwidthScaling     — simulator cost per simulated second
+//	BenchmarkAblation*            — design-choice ablations (DESIGN.md §5)
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// benchGrid runs a configuration grid serially and returns the summary.
+func benchGrid(b *testing.B, cfgs []experiment.Config) *experiment.Summary {
+	b.Helper()
+	results, err := experiment.RunAll(cfgs, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return experiment.Summarize(results)
+}
+
+// figGrid builds a scaled grid for one AQM: the given pairings at 100 Mbps
+// (the tier whose simulation cost permits full buffer resolution) across
+// all six paper buffer sizes.
+func figGrid(kind aqm.Kind, pairings []experiment.Pairing, dur time.Duration) []experiment.Config {
+	var cfgs []experiment.Config
+	for _, p := range pairings {
+		for _, q := range experiment.PaperQueueMults() {
+			cfgs = append(cfgs, experiment.Config{
+				Pairing:    p,
+				AQM:        kind,
+				QueueBDP:   q,
+				Bottleneck: 100 * units.MegabitPerSec,
+				Duration:   dur,
+			})
+		}
+	}
+	return cfgs
+}
+
+func BenchmarkTable2FlowPlans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bw := range units.PaperBandwidths() {
+			p := workload.PaperPlan(bw)
+			if p.FlowsPerNode() == 0 {
+				b.Fatal("empty plan")
+			}
+		}
+	}
+}
+
+func BenchmarkFig2ThroughputFIFO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchGrid(b, figGrid(aqm.KindFIFO, experiment.InterPairings(), 10*time.Second))
+		// Headline: the equilibrium point where CUBIC overtakes BBRv1
+		// (the paper measured 2×BDP at 100 Mbps).
+		if q, ok := s.EquilibriumBDP(experiment.Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+			aqm.KindFIFO, 100*units.MegabitPerSec); ok {
+			b.ReportMetric(q, "equilibriumBDP")
+		}
+	}
+}
+
+func BenchmarkFig3JainFIFO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchGrid(b, figGrid(aqm.KindFIFO, experiment.PaperPairings(), 10*time.Second))
+		var js []float64
+		for _, p := range experiment.IntraPairings() {
+			if c := s.Lookup(p, aqm.KindFIFO, 2, 100*units.MegabitPerSec); c != nil {
+				js = append(js, c.Jain)
+			}
+		}
+		b.ReportMetric(metrics.Mean(js), "meanIntraJain")
+	}
+}
+
+func BenchmarkFig4ThroughputRED(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchGrid(b, figGrid(aqm.KindRED, experiment.InterPairings(), 10*time.Second))
+		// Headline: BBRv1's share of the link against CUBIC under RED
+		// (the paper shows near-total dominance).
+		c := s.Lookup(experiment.Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+			aqm.KindRED, 2, 100*units.MegabitPerSec)
+		if c != nil && c.SenderBps[0]+c.SenderBps[1] > 0 {
+			b.ReportMetric(c.SenderBps[0]/(c.SenderBps[0]+c.SenderBps[1]), "bbr1Share")
+		}
+	}
+}
+
+func BenchmarkFig5JainRED(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchGrid(b, figGrid(aqm.KindRED, experiment.PaperPairings(), 10*time.Second))
+		c := s.Lookup(experiment.Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+			aqm.KindRED, 2, 100*units.MegabitPerSec)
+		if c != nil {
+			b.ReportMetric(c.Jain, "bbr1VsCubicJain")
+		}
+	}
+}
+
+func BenchmarkFig6JainFQCoDel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchGrid(b, figGrid(aqm.KindFQCoDel, experiment.PaperPairings(), 10*time.Second))
+		var js []float64
+		for _, p := range experiment.PaperPairings() {
+			if c := s.Lookup(p, aqm.KindFQCoDel, 2, 100*units.MegabitPerSec); c != nil {
+				js = append(js, c.Jain)
+			}
+		}
+		// The paper's Figure 6: J ≈ 1 across the board.
+		b.ReportMetric(metrics.Mean(js), "meanJain")
+	}
+}
+
+// fig78Grid: intra-CCA pairings at the two figure buffer sizes across two
+// bandwidth tiers, for all three AQMs.
+func fig78Grid(dur time.Duration) []experiment.Config {
+	var cfgs []experiment.Config
+	for _, kind := range aqm.Kinds() {
+		for _, p := range experiment.IntraPairings() {
+			for _, q := range []float64{2, 16} {
+				for _, bw := range []units.Bandwidth{100 * units.MegabitPerSec, units.GigabitPerSec} {
+					d := dur
+					if bw >= units.GigabitPerSec {
+						d = dur / 2
+					}
+					cfgs = append(cfgs, experiment.Config{
+						Pairing: p, AQM: kind, QueueBDP: q, Bottleneck: bw, Duration: d,
+					})
+				}
+			}
+		}
+	}
+	return cfgs
+}
+
+func BenchmarkFig7Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchGrid(b, fig78Grid(10*time.Second))
+		var fifo, red []float64
+		for _, p := range experiment.IntraPairings() {
+			if c := s.Lookup(p, aqm.KindFIFO, 2, units.GigabitPerSec); c != nil {
+				fifo = append(fifo, c.Utilization)
+			}
+			if c := s.Lookup(p, aqm.KindRED, 2, units.GigabitPerSec); c != nil {
+				red = append(red, c.Utilization)
+			}
+		}
+		// The paper's headline: FIFO fills the link, RED lags at ≥1 Gbps.
+		b.ReportMetric(metrics.Mean(fifo), "fifoUtil1G")
+		b.ReportMetric(metrics.Mean(red), "redUtil1G")
+	}
+}
+
+func BenchmarkFig8Retransmissions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchGrid(b, fig78Grid(10*time.Second))
+		b1 := s.Lookup(experiment.Pairing{CCA1: cca.BBRv1, CCA2: cca.BBRv1},
+			aqm.KindFIFO, 2, 100*units.MegabitPerSec)
+		cu := s.Lookup(experiment.Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+			aqm.KindFIFO, 2, 100*units.MegabitPerSec)
+		if b1 != nil && cu != nil && cu.Retransmits > 0 {
+			// The paper: BBRv1 retransmits far more than CUBIC.
+			b.ReportMetric(b1.Retransmits/cu.Retransmits, "bbr1OverCubicRtx")
+		}
+	}
+}
+
+func BenchmarkTable3Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var cfgs []experiment.Config
+		for _, kind := range aqm.Kinds() {
+			for _, p := range experiment.PaperPairings() {
+				for _, q := range []float64{2, 16} {
+					cfgs = append(cfgs, experiment.Config{
+						Pairing: p, AQM: kind, QueueBDP: q,
+						Bottleneck: 100 * units.MegabitPerSec,
+						Duration:   10 * time.Second,
+					})
+				}
+			}
+		}
+		s := benchGrid(b, cfgs)
+		rows := s.Table3()
+		if len(rows) == 0 {
+			b.Fatal("empty table 3")
+		}
+		// Headline: best Avg(φ) row.
+		best := 0.0
+		for _, r := range rows {
+			if r.AvgPhi > best {
+				best = r.AvgPhi
+			}
+		}
+		b.ReportMetric(best, "bestAvgPhi")
+	}
+}
+
+// BenchmarkBandwidthScaling measures raw simulator cost (events and wall
+// time) per simulated second at each paper bandwidth tier.
+func BenchmarkBandwidthScaling(b *testing.B) {
+	tiers := []struct {
+		name string
+		bw   units.Bandwidth
+		dur  time.Duration
+	}{
+		{"100Mbps", 100 * units.MegabitPerSec, 5 * time.Second},
+		{"1Gbps", units.GigabitPerSec, 2 * time.Second},
+		{"10Gbps", 10 * units.GigabitPerSec, 500 * time.Millisecond},
+	}
+	for _, tier := range tiers {
+		b.Run(tier.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Config{
+					Pairing:    experiment.Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+					AQM:        aqm.KindFIFO,
+					QueueBDP:   2,
+					Bottleneck: tier.bw,
+					Duration:   tier.dur,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Events)/tier.dur.Seconds(), "events/simsec")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAQM compares end-to-end cost and utilization of the
+// three queue disciplines under identical CUBIC traffic.
+func BenchmarkAblationAQM(b *testing.B) {
+	for _, kind := range aqm.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Config{
+					Pairing:    experiment.Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+					AQM:        kind,
+					QueueBDP:   2,
+					Bottleneck: 500 * units.MegabitPerSec,
+					Duration:   5 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Utilization, "utilization")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFlowScaling: how simulation cost grows with the number
+// of concurrent flows at a fixed bandwidth (iperf3 process scaling).
+func BenchmarkAblationFlowScaling(b *testing.B) {
+	for _, flows := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "1flow", 4: "4flows", 16: "16flows"}[flows], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Config{
+					Pairing:        experiment.Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+					AQM:            aqm.KindFIFO,
+					QueueBDP:       2,
+					Bottleneck:     500 * units.MegabitPerSec,
+					Duration:       5 * time.Second,
+					FlowsPerSender: flows,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Jain, "jain")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBBRInflightCap quantifies the effect the paper leans on
+// most: BBRv1's 2×BDP inflight cap versus CUBIC's uncapped buffer
+// occupancy, measured as BBR's throughput share at small vs large FIFO
+// buffers.
+func BenchmarkAblationBBRInflightCap(b *testing.B) {
+	for _, q := range []float64{0.5, 16} {
+		name := "smallBuffer"
+		if q > 1 {
+			name = "largeBuffer"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Config{
+					Pairing:    experiment.Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+					AQM:        aqm.KindFIFO,
+					QueueBDP:   q,
+					Bottleneck: 100 * units.MegabitPerSec,
+					Duration:   15 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total := res.SenderBps[0] + res.SenderBps[1]
+				if total > 0 {
+					b.ReportMetric(res.SenderBps[0]/total, "bbrShare")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHyStart quantifies CUBIC's HyStart: startup
+// retransmissions into a deep buffer with and without delay-based slow
+// start exit.
+func BenchmarkAblationHyStart(b *testing.B) {
+	for _, variant := range []cca.Name{cca.Cubic, cca.CubicNoHyStart} {
+		b.Run(string(variant), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Config{
+					Pairing:    experiment.Pairing{CCA1: variant, CCA2: variant},
+					AQM:        aqm.KindFIFO,
+					QueueBDP:   16,
+					Bottleneck: 100 * units.MegabitPerSec,
+					Duration:   10 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalRetransmits), "retransmits")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFastConvergence: CUBIC's fast-convergence heuristic is
+// meant to speed up bandwidth release to new flows; compare the fairness a
+// late-starting flow achieves against each variant.
+func BenchmarkAblationFastConvergence(b *testing.B) {
+	for _, variant := range []cca.Name{cca.Cubic, cca.CubicNoFastConv} {
+		b.Run(string(variant), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Config{
+					Pairing:    experiment.Pairing{CCA1: variant, CCA2: variant},
+					AQM:        aqm.KindFIFO,
+					QueueBDP:   2,
+					Bottleneck: 100 * units.MegabitPerSec,
+					Duration:   20 * time.Second,
+					// Large start spread: the second sender joins late.
+					StartSpread: 5 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Jain, "jain")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDelayedAck compares per-packet acknowledgements (the
+// harness default, iperf3-like) against RFC 1122 delayed ACKs.
+func BenchmarkAblationDelayedAck(b *testing.B) {
+	for _, delack := range []bool{false, true} {
+		name := "perPacketAck"
+		if delack {
+			name = "delayedAck"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Config{
+					Pairing:    experiment.Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+					AQM:        aqm.KindFIFO,
+					QueueBDP:   2,
+					Bottleneck: 500 * units.MegabitPerSec,
+					Duration:   10 * time.Second,
+					DelayedAck: delack,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Utilization, "utilization")
+				b.ReportMetric(float64(res.Events), "events")
+			}
+		})
+	}
+}

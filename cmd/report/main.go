@@ -1,0 +1,60 @@
+// Command report generates EXPERIMENTS.md — the paper-vs-measured record —
+// from one or more sweep result sets.
+//
+//	report -in results.json -out EXPERIMENTS.md
+//	report -in results/b100m.json,results/b1g.json -figures -out EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/paper"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "results.json", "sweep results JSON (comma-separated list merges sets)")
+		out     = flag.String("out", "EXPERIMENTS.md", "output markdown path ('-' for stdout)")
+		figures = flag.Bool("figures", true, "append rendered figure panels")
+	)
+	flag.Parse()
+
+	var all []experiment.Result
+	var notes []string
+	for _, path := range strings.Split(*in, ",") {
+		rs, err := experiment.LoadFile(strings.TrimSpace(path))
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, rs.Results...)
+		if rs.Note != "" {
+			notes = append(notes, rs.Note)
+		}
+	}
+	if len(all) == 0 {
+		fatal(fmt.Errorf("no results in %s", *in))
+	}
+
+	s := experiment.Summarize(all)
+	md := paper.Report(s, paper.ReportOptions{
+		Note:           strings.Join(notes, "; "),
+		IncludeFigures: *figures,
+	})
+	if *out == "-" {
+		fmt.Print(md)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "report: wrote %s (%d results summarized)\n", *out, len(all))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

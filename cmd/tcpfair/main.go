@@ -1,0 +1,104 @@
+// Command tcpfair runs one fairness experiment on the simulated FABRIC
+// dumbbell and prints the per-sender outcome — the simulator's equivalent
+// of one row of the paper's measurement campaign.
+//
+// Examples:
+//
+//	tcpfair -cca1 bbr1 -cca2 cubic -aqm fifo -queue 2 -bw 1Gbps
+//	tcpfair -cca1 cubic -cca2 cubic -aqm red -bw 100Mbps -duration 60s -seed 3
+//	tcpfair -cca1 bbr2 -cca2 cubic -aqm fq_codel -bw 10Gbps -trace /tmp/logs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		cca1     = flag.String("cca1", "cubic", "sender 1 congestion control (reno|cubic|htcp|bbr1|bbr2)")
+		cca2     = flag.String("cca2", "cubic", "sender 2 congestion control")
+		aqmName  = flag.String("aqm", "fifo", "bottleneck AQM (fifo|red|fq_codel)")
+		queue    = flag.Float64("queue", 2, "bottleneck buffer size in BDP multiples")
+		bwStr    = flag.String("bw", "1Gbps", "bottleneck bandwidth (e.g. 100Mbps, 25Gbps)")
+		duration = flag.Duration("duration", 0, "simulated transfer time (0 = bandwidth-scaled default)")
+		flows    = flag.Int("flows", 0, "flows per sender (0 = paper's Table 2 plan, scaled)")
+		seed     = flag.Uint64("seed", 1, "replica seed")
+		rtt      = flag.Duration("rtt", 62*time.Millisecond, "end-to-end round-trip time")
+		paper    = flag.Bool("paper-scale", false, "full 200s runs and uncapped Table 2 flow counts")
+		ecn      = flag.Bool("ecn", false, "enable ECN end to end")
+		traceDir = flag.String("trace", "", "directory for iperf3-style per-flow JSON logs")
+		interval = flag.Duration("interval", time.Second, "interval for the per-second report")
+		quiet    = flag.Bool("quiet", false, "suppress the per-interval report")
+	)
+	flag.Parse()
+
+	c1, err := cca.Parse(*cca1)
+	if err != nil {
+		fatal(err)
+	}
+	c2, err := cca.Parse(*cca2)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := aqm.ParseKind(*aqmName)
+	if err != nil {
+		fatal(err)
+	}
+	bw, err := units.ParseBandwidth(*bwStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := experiment.Config{
+		Pairing:        experiment.Pairing{CCA1: c1, CCA2: c2},
+		AQM:            kind,
+		QueueBDP:       *queue,
+		Bottleneck:     bw,
+		RTT:            *rtt,
+		Duration:       *duration,
+		FlowsPerSender: *flows,
+		Seed:           *seed,
+		PaperScale:     *paper,
+		ECN:            *ecn,
+		SampleInterval: *interval,
+	}
+
+	opts := core.RunOptions{TraceDir: *traceDir}
+	if !*quiet {
+		opts.IntervalWriter = os.Stdout
+	}
+	res, err := core.RunDetailed(cfg, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n=== %s ===\n", res.Config.ID())
+	fmt.Printf("bottleneck      %v, %v RTT, %s queue = %g x BDP\n",
+		res.Config.Bottleneck, res.Config.RTT, res.Config.AQM, res.Config.QueueBDP)
+	fmt.Printf("flows           %d (%d per sender), %gs simulated\n",
+		res.Flows, res.Flows/2, res.SimSeconds)
+	fmt.Printf("sender 1 (%s)  %10.2f Mbps\n", c1, res.SenderMbps(0))
+	fmt.Printf("sender 2 (%s)  %10.2f Mbps\n", c2, res.SenderMbps(1))
+	fmt.Printf("Jain index      %10.4f\n", res.Jain)
+	fmt.Printf("utilization     %10.4f\n", res.Utilization)
+	fmt.Printf("retransmits     %10d (sender1 %d, sender2 %d)\n",
+		res.TotalRetransmits, res.Retransmits[0], res.Retransmits[1])
+	fmt.Printf("queue drops     %10d (ECN marks %d)\n", res.QueueDropped, res.QueueMarked)
+	fmt.Printf("queueing delay  %10v mean, %v max\n",
+		res.SojournMean.Round(time.Microsecond), res.SojournMax.Round(time.Microsecond))
+	fmt.Printf("events          %10d in %v wall\n", res.Events, res.Wall.Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcpfair:", err)
+	os.Exit(1)
+}

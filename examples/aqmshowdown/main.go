@@ -1,0 +1,41 @@
+// AQM showdown: how the choice of queue discipline at the bottleneck
+// changes the outcome of the same BBRv1-vs-CUBIC contest — the paper's
+// central observation in miniature. FIFO lets the buffer decide, RED's
+// early random drops starve the loss-based flow, FQ_CODEL isolates them.
+//
+//	go run ./examples/aqmshowdown
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+func main() {
+	fmt.Println("BBRv1 vs CUBIC, 500 Mbps bottleneck, 62 ms RTT, 4xBDP buffer, 20 s")
+	fmt.Printf("\n%-10s %14s %14s %8s %8s %12s\n",
+		"AQM", "BBRv1 (Mbps)", "CUBIC (Mbps)", "Jain", "util", "retransmits")
+	for _, kind := range aqm.Kinds() {
+		res, err := experiment.Run(experiment.Config{
+			Pairing:    experiment.Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+			AQM:        kind,
+			QueueBDP:   4,
+			Bottleneck: 500 * units.MegabitPerSec,
+			Duration:   20 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14.1f %14.1f %8.3f %8.3f %12d\n",
+			kind, res.SenderMbps(0), res.SenderMbps(1), res.Jain,
+			res.Utilization, res.TotalRetransmits)
+	}
+	fmt.Println("\nExpected shape (paper §5.2): RED hands the link to BBRv1;")
+	fmt.Println("FQ_CODEL equalizes; FIFO sits in between, decided by buffer size.")
+}

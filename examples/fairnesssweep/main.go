@@ -1,0 +1,49 @@
+// Fairness sweep: reproduce one panel of the paper's Figure 2 — per-sender
+// throughput of BBRv1 against CUBIC under FIFO as the bottleneck buffer
+// grows from 0.5 to 16 BDP — and locate the equilibrium point where CUBIC
+// takes over (§5.1, "BBRv1's takeover").
+//
+//	go run ./examples/fairnesssweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+func main() {
+	bw := 100 * units.MegabitPerSec
+	pairing := experiment.Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic}
+
+	var cfgs []experiment.Config
+	for _, q := range experiment.PaperQueueMults() {
+		cfgs = append(cfgs, experiment.Config{
+			Pairing:    pairing,
+			AQM:        aqm.KindFIFO,
+			QueueBDP:   q,
+			Bottleneck: bw,
+			Duration:   30 * time.Second,
+		})
+	}
+	results, err := experiment.RunAll(cfgs, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := experiment.Summarize(results)
+
+	fmt.Printf("Figure 2(a) analogue: BBRv1 vs CUBIC, FIFO, %v\n\n", bw)
+	fmt.Print(s.RenderThroughputFigure(pairing, aqm.KindFIFO))
+
+	if q, ok := s.EquilibriumBDP(pairing, aqm.KindFIFO, bw); ok {
+		fmt.Printf("\nEquilibrium point: CUBIC first overtakes BBRv1 at %gxBDP", q)
+		fmt.Printf(" (the paper measured 2xBDP at 100 Mbps).\n")
+	} else {
+		fmt.Println("\nBBRv1 led at every measured buffer size.")
+	}
+}

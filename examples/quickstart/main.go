@@ -1,0 +1,29 @@
+// Quickstart: the smallest useful program — one BBRv1 elephant flow against
+// one CUBIC elephant flow across the simulated 62 ms / 1 Gbps FABRIC
+// dumbbell with a 2×BDP FIFO bottleneck, printing who got what.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func main() {
+	res, err := core.Compare(cca.BBRv1, cca.Cubic, 1*units.GigabitPerSec, aqm.KindFIFO, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BBRv1 vs CUBIC over %v, FIFO, 2xBDP buffer, %.0fs:\n",
+		res.Config.Bottleneck, res.SimSeconds)
+	fmt.Printf("  BBRv1: %8.1f Mbps\n", res.SenderMbps(0))
+	fmt.Printf("  CUBIC: %8.1f Mbps\n", res.SenderMbps(1))
+	fmt.Printf("  Jain fairness index: %.3f, link utilization: %.3f\n", res.Jain, res.Utilization)
+	fmt.Printf("  retransmissions: %d\n", res.TotalRetransmits)
+}

@@ -1,0 +1,124 @@
+package aqm
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// CoDelParams are the RFC 8289 control-law knobs.
+type CoDelParams struct {
+	Target   time.Duration // acceptable standing sojourn time (default 5ms)
+	Interval time.Duration // sliding window (default 100ms)
+	ECN      bool          // mark ECT packets instead of dropping
+}
+
+func (p *CoDelParams) defaults() {
+	if p.Target <= 0 {
+		p.Target = 5 * time.Millisecond
+	}
+	if p.Interval <= 0 {
+		p.Interval = 100 * time.Millisecond
+	}
+}
+
+// codelState holds the per-queue CoDel controller (RFC 8289 §5). It is the
+// dequeue-side law FQ-CoDel applies independently to each flow queue.
+type codelState struct {
+	p              CoDelParams
+	firstAboveTime sim.Time // when sojourn first exceeded target (0 = not yet)
+	dropNext       sim.Time // time of next scheduled drop while dropping
+	count          int      // drops since entering drop state
+	lastCount      int      // count at the previous drop-state entry
+	dropping       bool
+}
+
+// controlLaw returns the next drop time: dropNext = t + interval/sqrt(count).
+func (c *codelState) controlLaw(t sim.Time) sim.Time {
+	return t + sim.Time(float64(c.p.Interval.Nanoseconds())/math.Sqrt(float64(c.count)))
+}
+
+// shouldDrop runs the RFC 8289 "ok to drop" decision for a packet with the
+// given sojourn time at dequeue time now.
+func (c *codelState) shouldDrop(sojourn, now sim.Time, backlogBytes int64) bool {
+	if sojourn < sim.Duration(c.p.Target) || backlogBytes <= 0 {
+		c.firstAboveTime = 0
+		return false
+	}
+	if c.firstAboveTime == 0 {
+		c.firstAboveTime = now + sim.Duration(c.p.Interval)
+		return false
+	}
+	return now >= c.firstAboveTime
+}
+
+// dequeue applies the controller to the head packet of q at time now. It
+// returns the packet to transmit (possibly after dropping predecessors) and
+// the number of packets dropped/marked. The caller supplies pop/peek over
+// its own storage so FQ-CoDel can share this logic across flow queues.
+func (c *codelState) dequeue(now sim.Time, pop func() *packet.Packet, backlog func() int64, stats *Stats) *packet.Packet {
+	p := pop()
+	if p == nil {
+		c.dropping = false
+		return nil
+	}
+	sojourn := now - p.EnqueueAt
+
+	if c.dropping {
+		if !c.shouldDrop(sojourn, now, backlog()) {
+			c.dropping = false
+			return p
+		}
+		for now >= c.dropNext && c.dropping {
+			if c.p.ECN && (p.ECN == packet.ECT0 || p.ECN == packet.ECT1) {
+				p.ECN = packet.CE
+				stats.Marked++
+				c.count++
+				c.dropNext = c.controlLaw(c.dropNext)
+				return p
+			}
+			stats.Dropped++
+			stats.DroppedBytes += p.Size
+			packet.Release(p)
+			c.count++
+			p = pop()
+			if p == nil {
+				c.dropping = false
+				return nil
+			}
+			sojourn = now - p.EnqueueAt
+			if !c.shouldDrop(sojourn, now, backlog()) {
+				c.dropping = false
+				return p
+			}
+			c.dropNext = c.controlLaw(c.dropNext)
+		}
+		return p
+	}
+
+	if c.shouldDrop(sojourn, now, backlog()) {
+		// Enter the dropping state.
+		if c.p.ECN && (p.ECN == packet.ECT0 || p.ECN == packet.ECT1) {
+			p.ECN = packet.CE
+			stats.Marked++
+		} else {
+			stats.Dropped++
+			stats.DroppedBytes += p.Size
+			packet.Release(p)
+			p = pop() // may be nil; transmit the next packet if any
+		}
+		c.dropping = true
+		// RFC 8289: if we recently left the dropping state, resume a
+		// higher drop rate rather than restarting from 1.
+		if now-c.dropNext < sim.Duration(16*c.p.Interval) && c.count > 2 {
+			c.count = c.count - 2
+		} else {
+			c.count = 1
+		}
+		c.lastCount = c.count
+		c.dropNext = c.controlLaw(now)
+	}
+	return p
+}

@@ -1,0 +1,135 @@
+package aqm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// codelHarness drives a codelState over a plain ring, the way FQ-CoDel's
+// per-flow queues do.
+type codelHarness struct {
+	ring  pktRing
+	bytes int64
+	st    codelState
+	stats Stats
+}
+
+func newCodelHarness(p CoDelParams) *codelHarness {
+	p.defaults()
+	return &codelHarness{st: codelState{p: p}}
+}
+
+func (h *codelHarness) enqueue(now sim.Time, size int64) {
+	p := packet.New()
+	p.Kind = packet.Data
+	p.Size = 8960
+	p.EnqueueAt = now
+	h.ring.push(p)
+	h.bytes += int64(p.Size)
+	_ = size
+}
+
+func (h *codelHarness) dequeue(now sim.Time) *packet.Packet {
+	return h.st.dequeue(now,
+		func() *packet.Packet {
+			p := h.ring.pop()
+			if p != nil {
+				h.bytes -= int64(p.Size)
+			}
+			return p
+		},
+		func() int64 { return h.bytes },
+		&h.stats)
+}
+
+func TestCoDelDefaults(t *testing.T) {
+	var p CoDelParams
+	p.defaults()
+	if p.Target != 5*time.Millisecond || p.Interval != 100*time.Millisecond {
+		t.Fatalf("defaults: %+v", p)
+	}
+}
+
+func TestCoDelNoDropBelowTarget(t *testing.T) {
+	h := newCodelHarness(CoDelParams{})
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		h.enqueue(now, 8960)
+		now += sim.Duration(time.Millisecond) // 1ms sojourn < 5ms target
+		p := h.dequeue(now)
+		if p == nil {
+			t.Fatal("expected packet")
+		}
+		packet.Release(p)
+	}
+	if h.stats.Dropped != 0 {
+		t.Fatalf("dropped %d below target", h.stats.Dropped)
+	}
+}
+
+func TestCoDelTransientSpikeForgiven(t *testing.T) {
+	// Sojourn above target for less than one interval must not drop.
+	h := newCodelHarness(CoDelParams{})
+	now := sim.Duration(time.Second)
+	// 5 packets with 20ms sojourn, spread over 50ms (< 100ms interval),
+	// then back to low sojourn.
+	for i := 0; i < 5; i++ {
+		h.enqueue(now-sim.Duration(20*time.Millisecond), 8960)
+		p := h.dequeue(now)
+		if p == nil {
+			t.Fatal("expected packet")
+		}
+		packet.Release(p)
+		now += sim.Duration(10 * time.Millisecond)
+	}
+	if h.stats.Dropped != 0 {
+		t.Fatalf("transient spike dropped %d", h.stats.Dropped)
+	}
+}
+
+func TestCoDelPersistentDelayDrops(t *testing.T) {
+	h := newCodelHarness(CoDelParams{})
+	now := sim.Duration(time.Second)
+	// Sustained 50ms sojourn for well over an interval.
+	drops := uint64(0)
+	for i := 0; i < 300; i++ {
+		h.enqueue(now-sim.Duration(50*time.Millisecond), 8960)
+		h.enqueue(now-sim.Duration(50*time.Millisecond), 8960) // keep backlog
+		p := h.dequeue(now)
+		if p != nil {
+			packet.Release(p)
+		}
+		now += sim.Duration(5 * time.Millisecond)
+		drops = h.stats.Dropped
+	}
+	if drops == 0 {
+		t.Fatal("persistent delay never triggered the drop law")
+	}
+}
+
+func TestCoDelControlLawAccelerates(t *testing.T) {
+	// drop intervals shrink as 1/sqrt(count).
+	st := codelState{p: CoDelParams{Interval: 100 * time.Millisecond, Target: 5 * time.Millisecond}}
+	st.count = 1
+	t1 := st.controlLaw(0)
+	st.count = 4
+	t4 := st.controlLaw(0)
+	st.count = 16
+	t16 := st.controlLaw(0)
+	if t4 != t1/2 || t16 != t1/4 {
+		t.Fatalf("control law: %v %v %v", t1, t4, t16)
+	}
+}
+
+func TestCoDelEmptiesCleanly(t *testing.T) {
+	h := newCodelHarness(CoDelParams{})
+	if p := h.dequeue(0); p != nil {
+		t.Fatal("dequeue on empty should be nil")
+	}
+	if h.st.dropping {
+		t.Fatal("empty queue must exit dropping state")
+	}
+}

@@ -1,0 +1,227 @@
+package aqm
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// FQCoDelParams are the RFC 8290 knobs. Zero values select the RFC/Linux
+// defaults: 1024 flow buckets, a quantum of one jumbo frame, CoDel target
+// 5 ms / interval 100 ms.
+type FQCoDelParams struct {
+	Flows   int // number of hash buckets (default 1024)
+	Quantum units.ByteSize
+	CoDel   CoDelParams
+	Perturb uint64 // hash perturbation (decorrelates replicas)
+}
+
+// FQCoDel is the Fair Queuing / Controlled Delay discipline (RFC 8290):
+// flows are hashed into sub-queues served by deficit round-robin with a
+// new-flow priority list, and each sub-queue runs the CoDel drop law. It is
+// the discipline the paper finds delivers near-perfect fairness.
+type FQCoDel struct {
+	p     FQCoDelParams
+	cap   units.ByteSize
+	bytes units.ByteSize
+	npkts int
+	stats Stats
+
+	queues   []flowQueue
+	newFlows flowList // indices into queues
+	oldFlows flowList
+}
+
+type flowQueue struct {
+	ring    pktRing
+	bytes   int64
+	deficit int64
+	codel   codelState
+	state   uint8 // 0 idle, 1 on new list, 2 on old list
+}
+
+const (
+	fqIdle uint8 = iota
+	fqNew
+	fqOld
+)
+
+// flowList is an intrusive FIFO of bucket indices.
+type flowList struct {
+	items []int
+}
+
+func (l *flowList) empty() bool  { return len(l.items) == 0 }
+func (l *flowList) push(i int)   { l.items = append(l.items, i) }
+func (l *flowList) head() int    { return l.items[0] }
+func (l *flowList) popHead() int { h := l.items[0]; l.items = l.items[1:]; return h }
+func (l *flowList) rotate()      { h := l.popHead(); l.push(h) }
+
+// NewFQCoDel returns an FQ-CoDel queue holding at most capacity bytes total.
+func NewFQCoDel(capacity units.ByteSize, ecn bool, p FQCoDelParams) *FQCoDel {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if p.Flows <= 0 {
+		p.Flows = 1024
+	}
+	if p.Quantum <= 0 {
+		p.Quantum = 8960 // one jumbo frame, mirroring Linux quantum≈MTU
+	}
+	p.CoDel.defaults()
+	if ecn {
+		p.CoDel.ECN = true
+	}
+	q := &FQCoDel{
+		p:      p,
+		cap:    capacity,
+		queues: make([]flowQueue, p.Flows),
+	}
+	for i := range q.queues {
+		q.queues[i].codel.p = p.CoDel
+	}
+	return q
+}
+
+// Name implements Queue.
+func (q *FQCoDel) Name() string { return string(KindFQCoDel) }
+
+// Capacity implements Queue.
+func (q *FQCoDel) Capacity() units.ByteSize { return q.cap }
+
+// Len implements Queue.
+func (q *FQCoDel) Len() int { return q.npkts }
+
+// Bytes implements Queue.
+func (q *FQCoDel) Bytes() units.ByteSize { return q.bytes }
+
+// Stats implements Queue.
+func (q *FQCoDel) Stats() Stats { return q.stats }
+
+// Enqueue implements Queue. When the shared byte limit is exceeded the
+// packet at the head of the largest sub-queue is dropped (RFC 8290 §4.1's
+// fat-flow eviction), which protects thin flows from bulk ones.
+//
+// Counter semantics differ from FIFO/RED: every offered packet counts as
+// Enqueued (FQ-CoDel never rejects at the door), and Dropped counts all
+// post-acceptance losses (fat-flow evictions and CoDel dequeue drops), so
+// Enqueued = Dequeued + Dropped + Len at all times.
+func (q *FQCoDel) Enqueue(now sim.Time, p *packet.Packet) bool {
+	idx := packet.FlowHash(p.Flow, q.p.Perturb, q.p.Flows)
+	fq := &q.queues[idx]
+	p.EnqueueAt = now
+	fq.ring.push(p)
+	fq.bytes += int64(p.Size)
+	q.bytes += p.Size
+	q.npkts++
+	q.stats.Enqueued++
+
+	if fq.state == fqIdle {
+		fq.state = fqNew
+		fq.deficit = int64(q.p.Quantum)
+		q.newFlows.push(idx)
+	}
+
+	accepted := true
+	for q.bytes > q.cap {
+		if q.dropFromFattest(idx, p) {
+			accepted = false // the packet we just enqueued was the victim
+		}
+	}
+	return accepted
+}
+
+// dropFromFattest drops the head packet of the largest sub-queue. It returns
+// true when the victim is exactly the packet just enqueued (so Enqueue can
+// report a drop to the caller).
+func (q *FQCoDel) dropFromFattest(justIdx int, just *packet.Packet) bool {
+	fat, fatBytes := -1, int64(-1)
+	for i := range q.queues {
+		if q.queues[i].bytes > fatBytes {
+			fat, fatBytes = i, q.queues[i].bytes
+		}
+	}
+	if fat < 0 || fatBytes <= 0 {
+		return false
+	}
+	fq := &q.queues[fat]
+	victim := fq.ring.pop()
+	if victim == nil {
+		return false
+	}
+	fq.bytes -= int64(victim.Size)
+	q.bytes -= victim.Size
+	q.npkts--
+	q.stats.Dropped++
+	q.stats.DroppedBytes += victim.Size
+	isJust := fat == justIdx && victim == just
+	packet.Release(victim)
+	return isJust
+}
+
+// Dequeue implements Queue with the RFC 8290 two-list DRR scheduler.
+func (q *FQCoDel) Dequeue(now sim.Time) *packet.Packet {
+	for {
+		var list *flowList
+		if !q.newFlows.empty() {
+			list = &q.newFlows
+		} else if !q.oldFlows.empty() {
+			list = &q.oldFlows
+		} else {
+			return nil
+		}
+		idx := list.head()
+		fq := &q.queues[idx]
+
+		if fq.deficit <= 0 {
+			fq.deficit += int64(q.p.Quantum)
+			// Move to the back of the old list.
+			list.popHead()
+			fq.state = fqOld
+			q.oldFlows.push(idx)
+			continue
+		}
+
+		p := fq.codel.dequeue(now,
+			func() *packet.Packet {
+				pp := fq.ring.pop()
+				if pp != nil {
+					fq.bytes -= int64(pp.Size)
+					q.bytes -= pp.Size
+					q.npkts--
+				}
+				return pp
+			},
+			func() int64 { return fq.bytes },
+			&q.stats)
+
+		if p == nil {
+			// Queue drained. A new-list flow moves to the old list (to
+			// guard against a flow cycling through "new" status); an
+			// old-list flow becomes idle.
+			list.popHead()
+			if fq.state == fqNew && !q.oldFlows.empty() {
+				fq.state = fqOld
+				q.oldFlows.push(idx)
+			} else {
+				fq.state = fqIdle
+			}
+			continue
+		}
+		fq.deficit -= int64(p.Size)
+		q.stats.Dequeued++
+		return p
+	}
+}
+
+// BackloggedFlows reports how many sub-queues currently hold packets (used
+// by fairness tests).
+func (q *FQCoDel) BackloggedFlows() int {
+	n := 0
+	for i := range q.queues {
+		if q.queues[i].ring.len() > 0 {
+			n++
+		}
+	}
+	return n
+}

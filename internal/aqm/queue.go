@@ -1,0 +1,102 @@
+// Package aqm implements the three active-queue-management disciplines the
+// paper evaluates on the bottleneck router — FIFO (tail drop), RED (Floyd &
+// Jacobson 1993, with Linux-style "gentle" mode), and FQ-CoDel (RFC 8290 on
+// top of the RFC 8289 CoDel control law) — behind a common Queue interface
+// the router port drains.
+package aqm
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Queue is a router egress queue. Enqueue may drop (returning false) or mark
+// ECN; Dequeue may also drop internally (CoDel) and returns nil when empty.
+// Implementations are not safe for concurrent use: one simulation goroutine
+// owns the whole network.
+type Queue interface {
+	// Enqueue offers p to the queue at time now. It returns false if the
+	// packet was dropped; the queue releases dropped packets itself.
+	Enqueue(now sim.Time, p *packet.Packet) bool
+	// Dequeue removes the next packet to transmit, or nil if empty.
+	Dequeue(now sim.Time) *packet.Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the queued byte count.
+	Bytes() units.ByteSize
+	// Capacity returns the configured byte limit.
+	Capacity() units.ByteSize
+	// Stats returns cumulative counters.
+	Stats() Stats
+	// Name identifies the discipline ("fifo", "red", "fq_codel").
+	Name() string
+}
+
+// Stats are cumulative counters every discipline maintains.
+type Stats struct {
+	Enqueued uint64 // packets accepted
+	Dequeued uint64 // packets handed to the link
+	Dropped  uint64 // packets dropped (at enqueue or dequeue)
+	Marked   uint64 // packets ECN-marked instead of dropped
+	// DroppedBytes counts bytes lost to drops.
+	DroppedBytes units.ByteSize
+}
+
+// DropRate returns drops / offered packets, in [0,1].
+func (s Stats) DropRate() float64 {
+	offered := s.Enqueued + s.Dropped
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(offered)
+}
+
+// Kind names a queue discipline for configuration and reporting.
+type Kind string
+
+// The paper's three AQMs.
+const (
+	KindFIFO    Kind = "fifo"
+	KindRED     Kind = "red"
+	KindFQCoDel Kind = "fq_codel"
+)
+
+// Kinds returns the paper's AQM set in presentation order.
+func Kinds() []Kind { return []Kind{KindFIFO, KindRED, KindFQCoDel} }
+
+// ParseKind validates a discipline name.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case KindFIFO, KindRED, KindFQCoDel:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("aqm: unknown discipline %q (want fifo, red or fq_codel)", s)
+}
+
+// Config carries the knobs shared by all disciplines plus per-discipline
+// parameter overrides (zero values select the defaults documented on each
+// constructor).
+type Config struct {
+	Kind     Kind
+	Capacity units.ByteSize // byte limit (the paper's N × BDP)
+	ECN      bool           // mark ECT packets instead of dropping where the law allows
+
+	RED     REDParams
+	FQCoDel FQCoDelParams
+}
+
+// New constructs the configured discipline.
+func New(cfg Config) (Queue, error) {
+	switch cfg.Kind {
+	case KindFIFO, "":
+		return NewFIFO(cfg.Capacity), nil
+	case KindRED:
+		return NewRED(cfg.Capacity, cfg.ECN, cfg.RED), nil
+	case KindFQCoDel:
+		return NewFQCoDel(cfg.Capacity, cfg.ECN, cfg.FQCoDel), nil
+	}
+	return nil, fmt.Errorf("aqm: unknown discipline %q", cfg.Kind)
+}

@@ -1,0 +1,190 @@
+package aqm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestREDDefaults(t *testing.T) {
+	q := NewRED(120_000, false, REDParams{})
+	p := q.Params()
+	if p.MaxTh != 30_000 {
+		t.Errorf("MaxTh = %d, want limit/4", p.MaxTh)
+	}
+	if p.MinTh != 10_000 {
+		t.Errorf("MinTh = %d, want MaxTh/3", p.MinTh)
+	}
+	if p.MaxP != 0.02 || p.Wq != 0.002 {
+		t.Errorf("MaxP/Wq defaults wrong: %+v", p)
+	}
+}
+
+func TestREDNoDropsBelowMinTh(t *testing.T) {
+	q := NewRED(1_000_000, false, REDParams{})
+	// Keep the instantaneous queue tiny: enqueue+dequeue alternately.
+	for i := 0; i < 1000; i++ {
+		if !q.Enqueue(sim.Time(i), mkData(1, 1000)) {
+			t.Fatalf("drop below MinTh at %d (avg=%.0f)", i, q.AvgQueue())
+		}
+		packet.Release(q.Dequeue(sim.Time(i)))
+	}
+	if q.Stats().Dropped != 0 {
+		t.Fatalf("dropped %d below MinTh", q.Stats().Dropped)
+	}
+}
+
+func TestREDDropsAboveMaxTh(t *testing.T) {
+	q := NewRED(100_000, false, REDParams{DisableGentle: true})
+	// Fill without draining: avg climbs past MaxTh and forced drops begin.
+	drops := 0
+	for i := 0; i < 5000; i++ {
+		if !q.Enqueue(sim.Time(i), mkData(1, 1000)) {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("no drops despite sustained overload")
+	}
+	if q.Bytes() > q.Capacity() {
+		t.Fatal("occupancy exceeds capacity")
+	}
+}
+
+func TestREDDropProbMonotone(t *testing.T) {
+	// Property: dropProb is nondecreasing in the average queue estimate.
+	q := NewRED(1_000_000, false, REDParams{})
+	f := func(a, b uint32) bool {
+		x, y := float64(a%2_000_000), float64(b%2_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		q.avg = x
+		px := q.dropProb()
+		q.avg = y
+		py := q.dropProb()
+		return px <= py && px >= 0 && py <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestREDGentleRamp(t *testing.T) {
+	q := NewRED(1_200_000, false, REDParams{})
+	p := q.Params()
+	q.avg = float64(p.MaxTh) * 1.5
+	prob := q.dropProb()
+	if prob <= p.MaxP || prob >= 1 {
+		t.Errorf("gentle region prob = %.3f, want in (MaxP, 1)", prob)
+	}
+	q.avg = float64(p.MaxTh) * 2.1
+	if q.dropProb() != 1 {
+		t.Error("above 2·MaxTh everything must drop")
+	}
+}
+
+func TestREDClassicCliff(t *testing.T) {
+	q := NewRED(1_200_000, false, REDParams{DisableGentle: true})
+	p := q.Params()
+	q.avg = float64(p.MaxTh) + 1
+	if q.dropProb() != 1 {
+		t.Error("classic RED drops everything at MaxTh")
+	}
+}
+
+func TestREDIdleDecay(t *testing.T) {
+	q := NewRED(1_000_000, false, REDParams{MeanPktTime: 100 * time.Microsecond})
+	// Build up an average.
+	for i := 0; i < 200; i++ {
+		q.Enqueue(0, mkData(1, 2000))
+	}
+	for q.Len() > 0 {
+		packet.Release(q.Dequeue(sim.Time(1000)))
+	}
+	before := q.AvgQueue()
+	if before <= 0 {
+		t.Skip("no average accumulated")
+	}
+	// A long idle period then one arrival: avg should have decayed.
+	q.Enqueue(sim.Duration(5*time.Second), mkData(1, 2000))
+	if q.AvgQueue() >= before {
+		t.Errorf("avg did not decay across idle: before=%.1f after=%.1f", before, q.AvgQueue())
+	}
+}
+
+func TestREDECNMarksInsteadOfDrops(t *testing.T) {
+	mk := func(ecn bool) (drops, marks uint64) {
+		q := NewRED(200_000, ecn, REDParams{Seed: 7})
+		for i := 0; i < 3000; i++ {
+			p := mkData(1, 1000)
+			p.ECN = packet.ECT0
+			q.Enqueue(sim.Time(i), p)
+			if i%2 == 0 { // drain slowly so avg sits between thresholds
+				if d := q.Dequeue(sim.Time(i)); d != nil {
+					packet.Release(d)
+				}
+			}
+		}
+		s := q.Stats()
+		return s.Dropped, s.Marked
+	}
+	_, marksOff := mk(false)
+	dropsOn, marksOn := mk(true)
+	if marksOff != 0 {
+		t.Error("ECN disabled must not mark")
+	}
+	if marksOn == 0 {
+		t.Error("ECN enabled should mark ECT packets in the early-drop band")
+	}
+	_ = dropsOn
+}
+
+func TestREDDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		q := NewRED(150_000, false, REDParams{Seed: seed})
+		for i := 0; i < 4000; i++ {
+			q.Enqueue(sim.Time(i), mkData(1, 1000))
+			if i%2 == 0 {
+				if p := q.Dequeue(sim.Time(i)); p != nil {
+					packet.Release(p)
+				}
+			}
+		}
+		return q.Stats().Dropped
+	}
+	if run(3) != run(3) {
+		t.Error("same seed must reproduce drops exactly")
+	}
+}
+
+func TestREDNeverExceedsCapacity(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		q := NewRED(20_000, false, REDParams{Seed: 1})
+		for i, s := range sizes {
+			q.Enqueue(sim.Time(i), mkData(1, units.ByteSize(s%3000)+100))
+			if q.Bytes() > q.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkREDEnqueueDequeue(b *testing.B) {
+	q := NewRED(1<<30, false, REDParams{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(sim.Time(i), mkData(1, 8960))
+		if p := q.Dequeue(sim.Time(i)); p != nil {
+			packet.Release(p)
+		}
+	}
+}

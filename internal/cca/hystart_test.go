@@ -1,0 +1,88 @@
+package cca
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// TestHyStartExitsBeforeOverflow: in a deep (16×BDP) buffer, CUBIC with
+// HyStart must leave slow start on the RTT rise — before the first loss —
+// while the no-HyStart variant slow-starts straight into an overflow burst.
+func TestHyStartExitsBeforeOverflow(t *testing.T) {
+	run := func(cc tcp.CongestionControl) (retrans uint64, exitedCleanly bool) {
+		fs := newFlowSim(100*units.MegabitPerSec, 16, cc)
+		fs.conn.Start()
+		for i := 0; i < 100; i++ {
+			fs.eng.RunFor(100 * time.Millisecond)
+			if !fs.conn.InSlowStart() && fs.conn.Stats().Retransmits == 0 {
+				exitedCleanly = true
+			}
+		}
+		return fs.conn.Stats().Retransmits, exitedCleanly
+	}
+	withRtx, withClean := run(NewCubic())
+	withoutRtx, _ := run(NewCubicNoHyStart())
+	if !withClean {
+		t.Error("HyStart CUBIC never left slow start without losses")
+	}
+	if withRtx >= withoutRtx {
+		t.Errorf("HyStart should reduce startup losses: with=%d without=%d",
+			withRtx, withoutRtx)
+	}
+}
+
+// TestHyStartHarmlessOnShallowBuffer: with a small buffer, loss arrives
+// before the delay signal and CUBIC must still work.
+func TestHyStartHarmlessOnShallowBuffer(t *testing.T) {
+	fs := newFlowSim(100*units.MegabitPerSec, 0.5, NewCubic())
+	dur := 20 * time.Second
+	fs.run(dur)
+	util := fs.goodputBps(dur) / 100e6
+	if util < 0.7 {
+		t.Fatalf("utilization %.3f", util)
+	}
+}
+
+// TestLossBasedCCAsSetInternalPacing: after the first RTT sample, reno,
+// cubic and htcp must pace at 1.2–2× cwnd/srtt like Linux.
+func TestLossBasedCCAsSetInternalPacing(t *testing.T) {
+	for _, name := range []Name{Reno, Cubic, HTCP} {
+		fs := newFlowSim(100*units.MegabitPerSec, 2, MustNew(name))
+		fs.run(2 * time.Second)
+		rate := fs.conn.PacingRate()
+		if rate <= 0 {
+			t.Errorf("%s: no pacing rate set", name)
+			continue
+		}
+		srtt := fs.conn.SRTT()
+		ideal := float64(fs.conn.Cwnd()) * 8 / srtt.Seconds()
+		ratio := float64(rate) / ideal
+		if ratio < 1.1 || ratio > 2.1 {
+			t.Errorf("%s: pacing ratio %.2f outside [1.2, 2.0]", name, ratio)
+		}
+	}
+}
+
+// TestPacingKeepsQueueShortDuringGrowth: internal pacing must prevent
+// line-rate window bursts; queue occupancy during congestion avoidance
+// should stay well below a full window dump.
+func TestPacingKeepsQueueShortDuringGrowth(t *testing.T) {
+	fs := newFlowSim(100*units.MegabitPerSec, 8, MustNew(Cubic))
+	fs.conn.Start()
+	fs.eng.RunFor(5 * time.Second) // past startup
+	maxBurst := 0
+	for i := 0; i < 100; i++ {
+		fs.eng.RunFor(20 * time.Millisecond)
+		if l := fs.bott.Queue().Len(); l > maxBurst {
+			maxBurst = l
+		}
+	}
+	// 8×BDP = ~700 packets of queue space; a paced flow in its concave
+	// phase should not be slamming hundreds of packets at once.
+	if maxBurst > 600 {
+		t.Fatalf("queue burst of %d packets despite pacing", maxBurst)
+	}
+}

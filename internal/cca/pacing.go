@@ -1,0 +1,31 @@
+package cca
+
+import (
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// Linux paces every TCP connection internally since 4.13:
+// sk_pacing_rate = ratio × cwnd / srtt, with ratio 200% during slow start
+// and 120% in congestion avoidance (tcp_update_pacing_rate()). The
+// loss-based controllers here apply the same law; without it, every window
+// increment leaves the sender as a line-rate burst and large buffers see
+// unrealistically bursty drops.
+const (
+	pacingSSRatio = 2.0
+	pacingCARatio = 1.2
+)
+
+// updateInternalPacing applies the kernel's pacing law for a loss-based
+// controller.
+func updateInternalPacing(c *tcp.Conn) {
+	srtt := c.SRTT()
+	if srtt <= 0 {
+		return
+	}
+	ratio := pacingCARatio
+	if c.InSlowStart() {
+		ratio = pacingSSRatio
+	}
+	c.SetPacingRate(units.Bandwidth(ratio * float64(c.Cwnd()) * 8 / srtt.Seconds()))
+}

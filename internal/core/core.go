@@ -1,0 +1,190 @@
+// Package core is the high-level facade of the library: it runs fairness
+// experiments on the simulated FABRIC dumbbell with live interval
+// reporting (iperf3-style), per-flow JSON trace emission, and convenience
+// helpers for head-to-head CCA comparisons. Lower layers remain available
+// for custom setups: topo (wiring), tcp/cca (endpoints), aqm (queues),
+// experiment (grids and sweeps).
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// RunOptions control the extra outputs of RunDetailed.
+type RunOptions struct {
+	// IntervalWriter, when set, receives an iperf3-like per-interval
+	// report of the two senders' throughput.
+	IntervalWriter io.Writer
+	// TraceDir, when set, receives one iperf3-style JSON log per flow.
+	TraceDir string
+	// OnSample, when set, is called once per sample interval with the
+	// current per-sender rates (bits/sec).
+	OnSample func(at time.Duration, senderBps [2]float64)
+}
+
+// RunDetailed executes one experiment configuration like experiment.Run,
+// additionally producing interval reports, per-flow traces and sample
+// callbacks as requested.
+func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, error) {
+	cfg = cfg.Normalize()
+	start := time.Now()
+
+	eng := sim.NewEngine(cfg.Seed)
+	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
+	d, err := topo.NewDumbbell(eng, topo.Config{
+		BottleneckBW: cfg.Bottleneck,
+		RTT:          cfg.RTT,
+		PathLoss:     cfg.PathLoss,
+		Queue: aqm.Config{
+			Kind:     cfg.AQM,
+			Capacity: queueBytes,
+			ECN:      cfg.ECN,
+			RED:      aqm.REDParams{Seed: cfg.Seed},
+			FQCoDel:  aqm.FQCoDelParams{Perturb: cfg.Seed},
+		},
+	})
+	if err != nil {
+		return experiment.Result{}, fmt.Errorf("core: %w", err)
+	}
+
+	type flowMeta struct {
+		flow     *topo.Flow
+		recorder *trace.Recorder
+	}
+	var flows []flowMeta
+	ccas := [2]cca.Name{cfg.Pairing.CCA1, cfg.Pairing.CCA2}
+	for sender := 0; sender < 2; sender++ {
+		for i := 0; i < cfg.FlowsPerSender; i++ {
+			cc, err := cca.New(ccas[sender])
+			if err != nil {
+				return experiment.Result{}, fmt.Errorf("core: %w", err)
+			}
+			f := d.AddFlow(sender, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
+			delay := workload.StartJitter(eng.RNG(), cfg.StartSpread)
+			eng.Schedule(delay, f.Conn.Start)
+			var rec *trace.Recorder
+			if opts.TraceDir != "" {
+				title := fmt.Sprintf("%s/flow%d", cfg.ID(), f.ID)
+				rec = trace.NewRecorder(title, string(ccas[sender]), sender, uint32(f.ID), delay)
+			}
+			flows = append(flows, flowMeta{flow: f, recorder: rec})
+		}
+	}
+
+	// Periodic observation: interval report, trace records, callbacks.
+	var lastSender [2]int64
+	var tick func()
+	tick = func() {
+		now := eng.Now()
+		var rates [2]float64
+		for s := 0; s < 2; s++ {
+			cur := d.SenderGoodput(s)
+			rates[s] = float64(cur-lastSender[s]) * 8 / cfg.SampleInterval.Seconds()
+			lastSender[s] = cur
+		}
+		if opts.IntervalWriter != nil {
+			fmt.Fprintf(opts.IntervalWriter,
+				"[%7.2fs] sender1(%-5s) %9.2f Mbps | sender2(%-5s) %9.2f Mbps | queue %6d pkts\n",
+				now.Seconds(), cfg.Pairing.CCA1, rates[0]/1e6,
+				cfg.Pairing.CCA2, rates[1]/1e6, d.Bottleneck.Queue().Len())
+		}
+		if opts.OnSample != nil {
+			opts.OnSample(now.Std(), rates)
+		}
+		for _, fm := range flows {
+			if fm.recorder != nil {
+				st := fm.flow.Conn.Stats()
+				fm.recorder.Observe(now.Seconds(), fm.flow.Rcv.Goodput(),
+					st.Retransmits, fm.flow.Conn.Cwnd(), fm.flow.Conn.SRTT())
+			}
+		}
+		eng.Schedule(cfg.SampleInterval, tick)
+	}
+	eng.Schedule(cfg.SampleInterval, tick)
+
+	eng.RunFor(cfg.Duration)
+
+	res := experiment.Result{
+		Config:     cfg,
+		Flows:      2 * cfg.FlowsPerSender,
+		SimSeconds: cfg.Duration.Seconds(),
+		Events:     eng.Executed(),
+		Wall:       time.Since(start),
+	}
+	var totalBytes int64
+	for s := 0; s < 2; s++ {
+		g := d.SenderGoodput(s)
+		totalBytes += g
+		res.SenderBps[s] = float64(g) * 8 / cfg.Duration.Seconds()
+		res.Retransmits[s] = d.SenderRetransmits(s)
+	}
+	res.TotalRetransmits = res.Retransmits[0] + res.Retransmits[1]
+	res.Jain = metrics.Jain([]float64{res.SenderBps[0], res.SenderBps[1]})
+	perFlow := make([]float64, 0, len(d.Flows()))
+	for _, f := range d.Flows() {
+		perFlow = append(perFlow, float64(f.Rcv.Goodput()))
+	}
+	res.FlowJain = metrics.Jain(perFlow)
+	res.Utilization = metrics.Utilization(totalBytes, cfg.Duration, cfg.Bottleneck)
+	qs := d.Bottleneck.Queue().Stats()
+	res.QueueDropped = qs.Dropped
+	res.QueueMarked = qs.Marked
+	sj := d.Bottleneck.Sojourn()
+	res.SojournMean = sj.Mean
+	res.SojournMax = sj.Max
+
+	if opts.TraceDir != "" {
+		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
+			return res, fmt.Errorf("core: trace dir: %w", err)
+		}
+		for _, fm := range flows {
+			st := fm.flow.Conn.Stats()
+			l := fm.recorder.Finish(cfg.Duration.Seconds(), st.BytesSent,
+				fm.flow.Rcv.Goodput(), st.Retransmits)
+			name := fmt.Sprintf("%s_flow%d.json", cfg.ID(), fm.flow.ID)
+			if err := writeTrace(filepath.Join(opts.TraceDir, name), l); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+func writeTrace(path string, l *trace.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: trace file: %w", err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, l); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Compare runs a head-to-head between two CCAs with everything else at the
+// paper's defaults and returns the result — the one-call entry point used
+// by the quickstart example.
+func Compare(cca1, cca2 cca.Name, bw units.Bandwidth, kind aqm.Kind, queueBDP float64) (experiment.Result, error) {
+	return experiment.Run(experiment.Config{
+		Pairing:    experiment.Pairing{CCA1: cca1, CCA2: cca2},
+		AQM:        kind,
+		QueueBDP:   queueBDP,
+		Bottleneck: bw,
+	})
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/experiment"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func TestCompare(t *testing.T) {
+	res, err := Compare(cca.Cubic, cca.Cubic, 100*units.MegabitPerSec, aqm.KindFIFO, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.7 {
+		t.Fatalf("utilization %.3f", res.Utilization)
+	}
+	if res.Config.Pairing.CCA1 != cca.Cubic {
+		t.Fatal("config not propagated")
+	}
+}
+
+func TestRunDetailedIntervalOutput(t *testing.T) {
+	var buf bytes.Buffer
+	samples := 0
+	res, err := RunDetailed(experiment.Config{
+		Pairing:    experiment.Pairing{CCA1: cca.Reno, CCA2: cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 100 * units.MegabitPerSec,
+		Duration:   5 * time.Second,
+	}, RunOptions{
+		IntervalWriter: &buf,
+		OnSample:       func(at time.Duration, bps [2]float64) { samples++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "\n") < 4 {
+		t.Fatalf("interval report too short:\n%s", out)
+	}
+	if !strings.Contains(out, "sender1(reno ") || !strings.Contains(out, "Mbps") {
+		t.Fatalf("interval format:\n%s", out)
+	}
+	if samples < 4 {
+		t.Fatalf("OnSample called %d times", samples)
+	}
+	if res.Events == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestRunDetailedMatchesExperimentRun(t *testing.T) {
+	cfg := experiment.Config{
+		Pairing:    experiment.Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 100 * units.MegabitPerSec,
+		Duration:   5 * time.Second,
+		Seed:       3,
+	}
+	a, err := RunDetailed(cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sampler adds events but must not change outcomes.
+	if a.SenderBps != b.SenderBps || a.TotalRetransmits != b.TotalRetransmits {
+		t.Fatalf("RunDetailed diverges from Run: %+v vs %+v", a.SenderBps, b.SenderBps)
+	}
+}
+
+func TestRunDetailedTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := experiment.Config{
+		Pairing:        experiment.Pairing{CCA1: cca.BBRv2, CCA2: cca.Cubic},
+		AQM:            aqm.KindFQCoDel,
+		QueueBDP:       2,
+		Bottleneck:     100 * units.MegabitPerSec,
+		Duration:       5 * time.Second,
+		FlowsPerSender: 2,
+	}
+	if _, err := RunDetailed(cfg, RunOptions{TraceDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 4 {
+		t.Fatalf("want 4 trace files, got %v (%v)", files, err)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, err := trace.Parse(f)
+	if err != nil {
+		t.Fatalf("trace not parseable: %v", err)
+	}
+	if len(l.Intervals) < 4 {
+		t.Fatalf("trace has %d intervals", len(l.Intervals))
+	}
+	if l.Start.Congestion != "bbr2" && l.Start.Congestion != "cubic" {
+		t.Fatalf("trace CCA: %q", l.Start.Congestion)
+	}
+	if l.End.SumReceived.Bytes <= 0 {
+		t.Fatal("trace end summary empty")
+	}
+}
+
+func TestRunDetailedBadCCA(t *testing.T) {
+	_, err := RunDetailed(experiment.Config{
+		Pairing:    experiment.Pairing{CCA1: "bogus", CCA2: cca.Cubic},
+		Bottleneck: units.GigabitPerSec,
+		Duration:   time.Second,
+	}, RunOptions{})
+	if err == nil {
+		t.Fatal("want error for unknown CCA")
+	}
+}

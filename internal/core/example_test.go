@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+// The one-call entry point: compare two congestion controllers on the
+// simulated FABRIC dumbbell with everything else at the paper's defaults.
+func ExampleCompare() {
+	res, err := core.Compare(cca.BBRv1, cca.Cubic, units.GigabitPerSec, aqm.KindFIFO, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("BBRv1 %.0f Mbps, CUBIC %.0f Mbps, J=%.2f\n",
+		res.SenderMbps(0), res.SenderMbps(1), res.Jain)
+}
+
+// Full control: custom configuration plus live interval reporting and
+// iperf3-style trace output.
+func ExampleRunDetailed() {
+	cfg := experiment.Config{
+		Pairing:        experiment.Pairing{CCA1: cca.BBRv2, CCA2: cca.Cubic},
+		AQM:            aqm.KindFQCoDel,
+		QueueBDP:       4,
+		Bottleneck:     500 * units.MegabitPerSec,
+		Duration:       10 * time.Second,
+		FlowsPerSender: 5,
+	}
+	res, err := core.RunDetailed(cfg, core.RunOptions{
+		IntervalWriter: os.Stdout,       // iperf3-like per-second report
+		TraceDir:       "/tmp/tcp-logs", // one JSON log per flow
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("utilization %.2f, retransmissions %d\n", res.Utilization, res.TotalRetransmits)
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/units"
+)
+
+// TestPathLossPlumbing: injected loss must actually reach the forward path
+// and depress a loss-based CCA's throughput.
+func TestPathLossPlumbing(t *testing.T) {
+	base := Config{
+		Pairing: Pairing{cca.Reno, cca.Reno}, AQM: aqm.KindFIFO, QueueBDP: 2,
+		Bottleneck: 100 * units.MegabitPerSec, Duration: 20 * time.Second, Seed: 1,
+	}
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := base
+	lossy.PathLoss = 0.01
+	dirty, err := Run(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Utilization > 0.6*clean.Utilization {
+		t.Fatalf("1%% path loss barely hurt Reno: %.3f vs %.3f",
+			dirty.Utilization, clean.Utilization)
+	}
+	if dirty.TotalRetransmits == 0 {
+		t.Fatal("no retransmissions despite injected loss")
+	}
+}
+
+// TestAnomalyShapeBBRvLossBased (paper future work, §6): under random
+// non-congestive loss, BBRv1 retains far more throughput than Reno.
+func TestAnomalyShapeBBRvLossBased(t *testing.T) {
+	run := func(name cca.Name) float64 {
+		res, err := Run(Config{
+			Pairing: Pairing{name, name}, AQM: aqm.KindFIFO, QueueBDP: 2,
+			Bottleneck: 100 * units.MegabitPerSec, Duration: 20 * time.Second,
+			Seed: 1, PathLoss: 0.005,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Utilization
+	}
+	bbr := run(cca.BBRv1)
+	reno := run(cca.Reno)
+	if bbr < 2*reno {
+		t.Fatalf("BBRv1 (φ=%.3f) should dominate Reno (φ=%.3f) under 0.5%% random loss",
+			bbr, reno)
+	}
+	if bbr < 0.7 {
+		t.Fatalf("BBRv1 should stay near full rate under random loss: φ=%.3f", bbr)
+	}
+}

@@ -1,0 +1,175 @@
+// Package experiment drives the paper's measurement campaign over the
+// simulator: the 810-point configuration grid of Table 1 (9 CCA pairings ×
+// 3 AQMs × 6 queue lengths × 5 bottleneck bandwidths), a parallel sweep
+// runner, per-metric aggregation, and renderers for every figure and table
+// in the evaluation section.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Pairing is one row of Table 1's CCA column: sender 1 runs CCA1, sender 2
+// runs CCA2. Intra-CCA experiments have CCA1 == CCA2.
+type Pairing struct {
+	CCA1 cca.Name `json:"cca1"`
+	CCA2 cca.Name `json:"cca2"`
+}
+
+// Intra reports whether both senders run the same algorithm.
+func (p Pairing) Intra() bool { return p.CCA1 == p.CCA2 }
+
+// String renders "bbr1-vs-cubic".
+func (p Pairing) String() string { return fmt.Sprintf("%s-vs-%s", p.CCA1, p.CCA2) }
+
+// PaperPairings returns Table 1's nine pairings in presentation order.
+func PaperPairings() []Pairing {
+	return []Pairing{
+		{cca.BBRv1, cca.Cubic},
+		{cca.BBRv2, cca.Cubic},
+		{cca.HTCP, cca.Cubic},
+		{cca.Reno, cca.Cubic},
+		{cca.Cubic, cca.Cubic},
+		{cca.BBRv1, cca.BBRv1},
+		{cca.BBRv2, cca.BBRv2},
+		{cca.HTCP, cca.HTCP},
+		{cca.Reno, cca.Reno},
+	}
+}
+
+// InterPairings returns the four X-vs-CUBIC pairings (Figures 2–6).
+func InterPairings() []Pairing {
+	return []Pairing{
+		{cca.BBRv1, cca.Cubic},
+		{cca.BBRv2, cca.Cubic},
+		{cca.HTCP, cca.Cubic},
+		{cca.Reno, cca.Cubic},
+	}
+}
+
+// IntraPairings returns the five same-CCA pairings (Figures 7–8).
+func IntraPairings() []Pairing {
+	return []Pairing{
+		{cca.BBRv1, cca.BBRv1},
+		{cca.BBRv2, cca.BBRv2},
+		{cca.HTCP, cca.HTCP},
+		{cca.Reno, cca.Reno},
+		{cca.Cubic, cca.Cubic},
+	}
+}
+
+// PaperQueueMults returns the buffer sizes of Table 1 in BDP multiples.
+// (Table 1 lists 0.5–8; the figures and conclusion extend to 16 BDP, and
+// 6 sizes × 9 pairings × 3 AQMs × 5 BWs = the 810 configurations the paper
+// reports collecting.)
+func PaperQueueMults() []float64 { return []float64{0.5, 1, 2, 4, 8, 16} }
+
+// Config is one experiment configuration (one cell of the grid, one seed).
+type Config struct {
+	Pairing    Pairing         `json:"pairing"`
+	AQM        aqm.Kind        `json:"aqm"`
+	QueueBDP   float64         `json:"queue_bdp"` // buffer size in BDP multiples
+	Bottleneck units.Bandwidth `json:"bottleneck_bps"`
+
+	RTT            time.Duration `json:"rtt_ns"`             // default 62 ms
+	Duration       time.Duration `json:"duration_ns"`        // default: workload.DefaultDuration
+	FlowsPerSender int           `json:"flows_per_sender"`   // default: Table 2 plan (scaled)
+	Seed           uint64        `json:"seed"`               // replica seed
+	PaperScale     bool          `json:"paper_scale"`        // full 200 s, uncapped flows
+	ECN            bool          `json:"ecn"`                // enable ECN end to end
+	SampleInterval time.Duration `json:"sample_interval_ns"` // throughput series step
+	StartSpread    time.Duration `json:"start_spread_ns"`    // flow start jitter window
+	// PathLoss injects random loss on the forward core segment (the
+	// paper's future-work "network anomalies" scenario).
+	PathLoss float64 `json:"path_loss,omitempty"`
+	// DelayedAck enables RFC 1122 delayed acknowledgements on receivers.
+	DelayedAck bool `json:"delayed_ack,omitempty"`
+}
+
+// Normalize fills defaults, returning the effective configuration.
+func (c Config) Normalize() Config {
+	if c.RTT <= 0 {
+		c.RTT = 62 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = workload.DefaultDuration(c.Bottleneck, c.PaperScale)
+	}
+	if c.FlowsPerSender <= 0 {
+		plan := workload.ScaledPlan(c.Bottleneck, workload.DefaultMaxFlows(c.Bottleneck, c.PaperScale))
+		c.FlowsPerSender = plan.FlowsPerNode()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.StartSpread <= 0 {
+		c.StartSpread = 100 * time.Millisecond
+	}
+	if c.AQM == "" {
+		c.AQM = aqm.KindFIFO
+	}
+	return c
+}
+
+// ID renders a filesystem- and log-friendly identifier.
+func (c Config) ID() string {
+	return fmt.Sprintf("%s_%s_%gbdp_%s_seed%d", c.Pairing, c.AQM, c.QueueBDP,
+		c.Bottleneck, c.Seed)
+}
+
+// GridOptions controls grid generation.
+type GridOptions struct {
+	Pairings   []Pairing
+	AQMs       []aqm.Kind
+	QueueMults []float64
+	Bandwidths []units.Bandwidth
+	Seeds      []uint64
+	PaperScale bool
+}
+
+// PaperGrid returns the full Table 1 grid options with the given replica
+// seeds (the paper ran 5 per configuration).
+func PaperGrid(seeds ...uint64) GridOptions {
+	if len(seeds) == 0 {
+		seeds = []uint64{1, 2, 3, 4, 5}
+	}
+	return GridOptions{
+		Pairings:   PaperPairings(),
+		AQMs:       aqm.Kinds(),
+		QueueMults: PaperQueueMults(),
+		Bandwidths: units.PaperBandwidths(),
+		Seeds:      seeds,
+	}
+}
+
+// Grid expands options into the cross-product of configurations.
+func Grid(o GridOptions) []Config {
+	var out []Config
+	for _, p := range o.Pairings {
+		for _, a := range o.AQMs {
+			for _, q := range o.QueueMults {
+				for _, bw := range o.Bandwidths {
+					for _, s := range o.Seeds {
+						out = append(out, Config{
+							Pairing:    p,
+							AQM:        a,
+							QueueBDP:   q,
+							Bottleneck: bw,
+							Seed:       s,
+							PaperScale: o.PaperScale,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

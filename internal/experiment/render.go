@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/aqm"
+	"repro/internal/units"
+)
+
+// RenderThroughputFigure renders the Figure 2/4 family: per-sender
+// throughput against buffer size, one block per bottleneck bandwidth, for a
+// given pairing and AQM. (Figure 2 is kind=fifo, Figure 4 is kind=red.)
+func (s *Summary) RenderThroughputFigure(p Pairing, kind aqm.Kind) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-sender throughput, %s, AQM=%s\n", p, kind)
+	for _, bw := range s.Bandwidths() {
+		fmt.Fprintf(&b, "\n  bottleneck %v:\n", bw)
+		fmt.Fprintf(&b, "    %-10s %14s %14s %8s\n", "buffer", "sender1(Mbps)", "sender2(Mbps)", "J")
+		for _, q := range s.QueueMults() {
+			c := s.Lookup(p, kind, q, bw)
+			if c == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-10s %14.1f %14.1f %8.3f\n",
+				fmt.Sprintf("%gxBDP", q), c.SenderBps[0]/1e6, c.SenderBps[1]/1e6, c.Jain)
+		}
+	}
+	return b.String()
+}
+
+// RenderJainFigure renders the Figure 3/5/6 family: Jain's index per
+// pairing × bandwidth at one buffer size, split into inter- and intra-CCA
+// panels, for one AQM.
+func (s *Summary) RenderJainFigure(kind aqm.Kind, queueBDP float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Jain's fairness index, AQM=%s, buffer=%gxBDP\n", kind, queueBDP)
+	render := func(title string, pairings []Pairing) {
+		fmt.Fprintf(&b, "\n  %s:\n    %-16s", title, "pairing")
+		for _, bw := range s.Bandwidths() {
+			fmt.Fprintf(&b, " %9s", bw)
+		}
+		b.WriteString("\n")
+		for _, p := range pairings {
+			found := false
+			row := fmt.Sprintf("    %-16s", p)
+			for _, bw := range s.Bandwidths() {
+				c := s.Lookup(p, kind, queueBDP, bw)
+				if c == nil {
+					row += fmt.Sprintf(" %9s", "-")
+					continue
+				}
+				found = true
+				row += fmt.Sprintf(" %9.3f", c.Jain)
+			}
+			if found {
+				b.WriteString(row + "\n")
+			}
+		}
+	}
+	render("inter-CCA", InterPairings())
+	render("intra-CCA", IntraPairings())
+	return b.String()
+}
+
+// RenderUtilizationFigure renders Figure 7: overall link utilization φ for
+// the intra-CCA experiments, per AQM at one buffer size.
+func (s *Summary) RenderUtilizationFigure(kind aqm.Kind, queueBDP float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Link utilization (intra-CCA), AQM=%s, buffer=%gxBDP\n", kind, queueBDP)
+	fmt.Fprintf(&b, "    %-16s", "cca")
+	for _, bw := range s.Bandwidths() {
+		fmt.Fprintf(&b, " %9s", bw)
+	}
+	b.WriteString("\n")
+	for _, p := range IntraPairings() {
+		found := false
+		row := fmt.Sprintf("    %-16s", p.CCA1)
+		for _, bw := range s.Bandwidths() {
+			c := s.Lookup(p, kind, queueBDP, bw)
+			if c == nil {
+				row += fmt.Sprintf(" %9s", "-")
+				continue
+			}
+			found = true
+			row += fmt.Sprintf(" %9.3f", c.Utilization)
+		}
+		if found {
+			b.WriteString(row + "\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderRetransFigure renders Figure 8: retransmission counts for the
+// intra-CCA experiments, per AQM at one buffer size.
+func (s *Summary) RenderRetransFigure(kind aqm.Kind, queueBDP float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Retransmissions (intra-CCA), AQM=%s, buffer=%gxBDP\n", kind, queueBDP)
+	fmt.Fprintf(&b, "    %-16s", "cca")
+	for _, bw := range s.Bandwidths() {
+		fmt.Fprintf(&b, " %12s", bw)
+	}
+	b.WriteString("\n")
+	for _, p := range IntraPairings() {
+		found := false
+		row := fmt.Sprintf("    %-16s", p.CCA1)
+		for _, bw := range s.Bandwidths() {
+			c := s.Lookup(p, kind, queueBDP, bw)
+			if c == nil {
+				row += fmt.Sprintf(" %12s", "-")
+				continue
+			}
+			found = true
+			row += fmt.Sprintf(" %12.0f", c.Retransmits)
+		}
+		if found {
+			b.WriteString(row + "\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderTable3 renders the overall comparison as a markdown table matching
+// the paper's Table 3 layout.
+func (s *Summary) RenderTable3() string {
+	var b strings.Builder
+	b.WriteString("| CCA1 vs CCA2 | AQM | Avg(phi) | Avg(RR) | Avg(J_index) |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	lastAQM := aqm.Kind("")
+	for _, row := range s.Table3() {
+		aqmCell := ""
+		if row.AQM != lastAQM {
+			aqmCell = strings.ToUpper(string(row.AQM))
+			lastAQM = row.AQM
+		}
+		rr := "-"
+		if !math.IsNaN(row.AvgRR) {
+			rr = fmt.Sprintf("%.3f", row.AvgRR)
+		}
+		fmt.Fprintf(&b, "| %s vs %s | %s | %.3f | %s | %.3f |\n",
+			strings.ToUpper(string(row.Pairing.CCA1)), strings.ToUpper(string(row.Pairing.CCA2)),
+			aqmCell, row.AvgPhi, rr, row.AvgJain)
+	}
+	return b.String()
+}
+
+// EquilibriumBDP finds the buffer multiplier at which sender 2 (CUBIC in
+// the inter-CCA pairings) first overtakes sender 1 — the paper's
+// "equilibrium point" narrative for Figure 2. Returns the multiplier and
+// true, or 0,false if sender 1 leads at every measured buffer size.
+func (s *Summary) EquilibriumBDP(p Pairing, kind aqm.Kind, bw units.Bandwidth) (float64, bool) {
+	for _, q := range s.QueueMults() {
+		c := s.Lookup(p, kind, q, bw)
+		if c == nil {
+			continue
+		}
+		if c.SenderBps[1] > c.SenderBps[0] {
+			return q, true
+		}
+	}
+	return 0, false
+}

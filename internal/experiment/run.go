@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of one experiment run (one configuration, one seed).
+type Result struct {
+	Config Config `json:"config"`
+
+	// SenderBps is each sender's aggregate goodput in bits/sec — the
+	// paper's per-sender throughput (Figures 2 and 4).
+	SenderBps [2]float64 `json:"sender_bps"`
+	// Jain is the per-sender fairness index, n=2 (Figures 3, 5, 6).
+	Jain float64 `json:"jain"`
+	// FlowJain is Jain's index across every individual flow — finer
+	// grained than the paper's per-sender view (and 1.0 only when every
+	// single stream got an equal share).
+	FlowJain float64 `json:"flow_jain"`
+	// Utilization is φ (Figure 7).
+	Utilization float64 `json:"utilization"`
+	// Retransmits counts retransmitted segments per sender and in total
+	// (Figure 8 and eq. 4).
+	Retransmits      [2]uint64 `json:"retransmits"`
+	TotalRetransmits uint64    `json:"total_retransmits"`
+
+	// Bottleneck queue accounting.
+	QueueDropped uint64 `json:"queue_dropped"`
+	QueueMarked  uint64 `json:"queue_marked"`
+	// Bottleneck queueing delay (bufferbloat evidence).
+	SojournMean time.Duration `json:"sojourn_mean_ns"`
+	SojournMax  time.Duration `json:"sojourn_max_ns"`
+
+	// Run metadata.
+	Flows      int           `json:"flows"`
+	SimSeconds float64       `json:"sim_seconds"`
+	Events     uint64        `json:"events"`
+	Wall       time.Duration `json:"wall_ns"`
+}
+
+// SenderMbps returns a sender's throughput in Mbps.
+func (r Result) SenderMbps(i int) float64 { return r.SenderBps[i] / 1e6 }
+
+// Run executes one experiment and returns its result. Each call owns a
+// private engine; Run is safe to invoke from many goroutines at once.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.Normalize()
+	start := time.Now()
+
+	eng := sim.NewEngine(cfg.Seed)
+	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
+	d, err := topo.NewDumbbell(eng, topo.Config{
+		BottleneckBW: cfg.Bottleneck,
+		RTT:          cfg.RTT,
+		PathLoss:     cfg.PathLoss,
+		Queue: aqm.Config{
+			Kind:     cfg.AQM,
+			Capacity: queueBytes,
+			ECN:      cfg.ECN,
+			RED:      aqm.REDParams{Seed: cfg.Seed},
+			FQCoDel:  aqm.FQCoDelParams{Perturb: cfg.Seed},
+		},
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
+	}
+
+	ccas := [2]cca.Name{cfg.Pairing.CCA1, cfg.Pairing.CCA2}
+	for sender := 0; sender < 2; sender++ {
+		for i := 0; i < cfg.FlowsPerSender; i++ {
+			cc, err := cca.New(ccas[sender])
+			if err != nil {
+				return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
+			}
+			f := d.AddFlow(sender, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
+			delay := workload.StartJitter(eng.RNG(), cfg.StartSpread)
+			conn := f.Conn
+			eng.Schedule(delay, conn.Start)
+		}
+	}
+
+	eng.RunFor(cfg.Duration)
+
+	res := Result{
+		Config:     cfg,
+		Flows:      2 * cfg.FlowsPerSender,
+		SimSeconds: cfg.Duration.Seconds(),
+		Events:     eng.Executed(),
+		Wall:       time.Since(start),
+	}
+	var totalBytes int64
+	for s := 0; s < 2; s++ {
+		g := d.SenderGoodput(s)
+		totalBytes += g
+		res.SenderBps[s] = float64(g) * 8 / cfg.Duration.Seconds()
+		res.Retransmits[s] = d.SenderRetransmits(s)
+	}
+	res.TotalRetransmits = res.Retransmits[0] + res.Retransmits[1]
+	res.Jain = metrics.Jain([]float64{res.SenderBps[0], res.SenderBps[1]})
+	perFlow := make([]float64, 0, len(d.Flows()))
+	for _, f := range d.Flows() {
+		perFlow = append(perFlow, float64(f.Rcv.Goodput()))
+	}
+	res.FlowJain = metrics.Jain(perFlow)
+	res.Utilization = metrics.Utilization(totalBytes, cfg.Duration, cfg.Bottleneck)
+	qs := d.Bottleneck.Queue().Stats()
+	res.QueueDropped = qs.Dropped
+	res.QueueMarked = qs.Marked
+	sj := d.Bottleneck.Sojourn()
+	res.SojournMean = sj.Mean
+	res.SojournMax = sj.Max
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Progress reports sweep progress to a callback.
+type Progress struct {
+	Done   int
+	Total  int
+	Last   Result
+	LastID string
+}
+
+// RunAll executes the configurations on a worker pool of the given width
+// (0 = GOMAXPROCS) and returns results in input order. Each simulation is
+// single-threaded and deterministic; parallelism is purely across
+// configurations, so results are independent of worker count.
+func RunAll(cfgs []Config, workers int, onProgress func(Progress)) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) && len(cfgs) > 0 {
+		workers = len(cfgs)
+	}
+
+	results := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	jobs := make(chan int)
+
+	var mu sync.Mutex
+	done := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Run(cfgs[i])
+				results[i] = res
+				errs[i] = err
+				if onProgress != nil {
+					mu.Lock()
+					done++
+					onProgress(Progress{Done: done, Total: len(cfgs), Last: res, LastID: cfgs[i].ID()})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("config %d (%s): %w", i, cfgs[i].ID(), err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ResultSet is the serialized form of a sweep.
+type ResultSet struct {
+	// Note documents what produced the set (scaled vs paper-scale, seeds).
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// WriteJSON streams a result set to w.
+func WriteJSON(w io.Writer, rs *ResultSet) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rs); err != nil {
+		return fmt.Errorf("experiment: encode results: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a result set from r.
+func ReadJSON(r io.Reader) (*ResultSet, error) {
+	var rs ResultSet
+	if err := json.NewDecoder(r).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("experiment: decode results: %w", err)
+	}
+	return &rs, nil
+}
+
+// SaveFile writes a result set to path, creating parent directories.
+func SaveFile(path string, rs *ResultSet) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("experiment: mkdir %s: %w", dir, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiment: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteJSON(f, rs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a result set from path.
+func LoadFile(path string) (*ResultSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

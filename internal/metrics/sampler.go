@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Sample is one point of a throughput time series.
+type Sample struct {
+	At   sim.Time
+	Rate units.Bandwidth // throughput over the preceding interval
+}
+
+// Series is a throughput time series for one measured entity.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// MeanRate returns the average of all samples.
+func (s *Series) MeanRate() units.Bandwidth {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, p := range s.Samples {
+		sum += int64(p.Rate)
+	}
+	return units.Bandwidth(sum / int64(len(s.Samples)))
+}
+
+// Sampler polls byte counters at a fixed simulated interval and converts
+// deltas into rates — the iperf3 "interval report" of the harness.
+type Sampler struct {
+	eng      *sim.Engine
+	interval time.Duration
+	probes   []probe
+	stopped  bool
+}
+
+type probe struct {
+	series *Series
+	read   func() int64
+	last   int64
+}
+
+// NewSampler creates a sampler polling every interval.
+func NewSampler(eng *sim.Engine, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Sampler{eng: eng, interval: interval}
+}
+
+// Track registers a byte counter (e.g. a receiver's goodput) under name and
+// returns the series that will accumulate its samples.
+func (sa *Sampler) Track(name string, read func() int64) *Series {
+	s := &Series{Name: name}
+	sa.probes = append(sa.probes, probe{series: s, read: read, last: read()})
+	return s
+}
+
+// Start schedules periodic sampling until Stop or the engine stops running.
+func (sa *Sampler) Start() {
+	sa.eng.Schedule(sa.interval, sa.tick)
+}
+
+// Stop ends sampling.
+func (sa *Sampler) Stop() { sa.stopped = true }
+
+func (sa *Sampler) tick() {
+	if sa.stopped {
+		return
+	}
+	now := sa.eng.Now()
+	for i := range sa.probes {
+		p := &sa.probes[i]
+		cur := p.read()
+		rate := units.RateFromBytes(units.ByteSize(cur-p.last), sa.interval)
+		p.last = cur
+		p.series.Samples = append(p.series.Samples, Sample{At: now, Rate: rate})
+	}
+	sa.eng.Schedule(sa.interval, sa.tick)
+}

@@ -1,0 +1,102 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestLossInjectionRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	po := NewPort(eng, "lossy", 10*units.GigabitPerSec, 0, aqm.NewFIFO(1<<30), sink)
+	po.SetLoss(0.1)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		po.Send(data(1000))
+	}
+	eng.Run()
+	lost := po.LossDrops()
+	if lost < n/20 || lost > n/5 {
+		t.Fatalf("10%% loss dropped %d of %d", lost, n)
+	}
+	if sink.Packets+lost != n {
+		t.Fatalf("conservation: %d delivered + %d lost != %d", sink.Packets, lost, n)
+	}
+}
+
+func TestLossClamping(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	po := NewPort(eng, "p", units.GigabitPerSec, 0, nil, sink)
+	po.SetLoss(-0.5) // clamps to 0
+	po.Send(data(100))
+	eng.Run()
+	if sink.Packets != 1 {
+		t.Fatal("negative loss rate should clamp to 0")
+	}
+	po.SetLoss(2) // clamps to 1
+	po.Send(data(100))
+	eng.Run()
+	if po.LossDrops() != 1 {
+		t.Fatal("loss rate >1 should clamp to 1 (drop everything)")
+	}
+}
+
+func TestZeroLossDefault(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	po := NewPort(eng, "p", units.GigabitPerSec, 0, aqm.NewFIFO(1<<30), sink)
+	for i := 0; i < 1000; i++ {
+		po.Send(data(1000))
+	}
+	eng.Run()
+	if po.LossDrops() != 0 || sink.Packets != 1000 {
+		t.Fatal("ports must be lossless by default")
+	}
+}
+
+func TestJitterSpreadsDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var times []sim.Time
+	rec := ReceiverFunc(func(now sim.Time, p *packet.Packet) {
+		times = append(times, now)
+		packet.Release(p)
+	})
+	po := NewPort(eng, "jittery", 100*units.GigabitPerSec, 10*time.Millisecond,
+		aqm.NewFIFO(1<<30), rec)
+	po.SetJitter(5 * time.Millisecond)
+	const n = 500
+	for i := 0; i < n; i++ {
+		po.Send(data(1000))
+	}
+	eng.Run()
+	if len(times) != n {
+		t.Fatalf("delivered %d of %d", len(times), n)
+	}
+	// With jitter, inter-delivery gaps must vary; all deliveries must fall
+	// within [base, base+jitter) of their serialization completion.
+	distinct := map[sim.Time]bool{}
+	for _, at := range times {
+		distinct[at] = true
+	}
+	if len(distinct) < n/2 {
+		t.Fatalf("jitter produced too few distinct delivery times: %d", len(distinct))
+	}
+}
+
+func TestJitterClamping(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	po := NewPort(eng, "p", units.GigabitPerSec, time.Millisecond, nil, sink)
+	po.SetJitter(-time.Second) // clamps to 0
+	po.Send(data(100))
+	eng.Run()
+	if sink.Packets != 1 {
+		t.Fatal("negative jitter should clamp to 0 and not break delivery")
+	}
+}

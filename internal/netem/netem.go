@@ -1,0 +1,231 @@
+// Package netem models the forwarding plane: ports that serialize packets
+// onto links at a configured rate, drain a pluggable AQM queue, and deliver
+// after a propagation delay. Chaining ports builds arbitrary paths; the
+// dumbbell of the paper is four chained ports per direction (client NIC →
+// router1 bottleneck port → router2 port → server NIC).
+package netem
+
+import (
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Receiver consumes packets at the end of a link: another Port, or a
+// protocol endpoint.
+type Receiver interface {
+	Receive(now sim.Time, p *packet.Packet)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(now sim.Time, p *packet.Packet)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(now sim.Time, p *packet.Packet) { f(now, p) }
+
+// Port is one egress interface: a queue drained at the link rate, with each
+// transmitted packet delivered to dst after the propagation delay. Port
+// itself implements Receiver so ports chain into paths.
+type Port struct {
+	Name string
+
+	eng   *sim.Engine
+	rate  units.Bandwidth
+	delay time.Duration
+	queue aqm.Queue
+	dst   Receiver
+	busy  bool
+
+	// Fault injection (the paper's "network anomalies" future work):
+	// lossRate drops transmitted packets at random; jitter adds a uniform
+	// extra delay in [0, jitter) per packet.
+	lossRate float64
+	jitter   time.Duration
+	rng      *sim.RNG
+
+	txPackets uint64
+	txBytes   units.ByteSize
+	lossDrops uint64
+
+	// Queueing-delay telemetry (sojourn from enqueue to serialization
+	// start) — the direct evidence of bufferbloat the paper reasons about.
+	sojournSum sim.Time
+	sojournMax sim.Time
+}
+
+// SojournStats summarizes the queueing delay seen by transmitted packets.
+type SojournStats struct {
+	Mean time.Duration
+	Max  time.Duration
+}
+
+// Sojourn returns the mean and maximum queueing delay so far.
+func (po *Port) Sojourn() SojournStats {
+	if po.txPackets == 0 {
+		return SojournStats{}
+	}
+	return SojournStats{
+		Mean: (po.sojournSum / sim.Time(po.txPackets)).Std(),
+		Max:  po.sojournMax.Std(),
+	}
+}
+
+// NewPort builds an egress port transmitting at rate with propagation delay
+// toward dst, buffering in queue.
+func NewPort(eng *sim.Engine, name string, rate units.Bandwidth, delay time.Duration, queue aqm.Queue, dst Receiver) *Port {
+	if queue == nil {
+		queue = aqm.NewFIFO(1 << 40) // effectively unbuffered-loss-free
+	}
+	return &Port{Name: name, eng: eng, rate: rate, delay: delay, queue: queue, dst: dst}
+}
+
+// Queue exposes the port's queue (for telemetry and tests).
+func (po *Port) Queue() aqm.Queue { return po.queue }
+
+// Rate returns the configured link rate.
+func (po *Port) Rate() units.Bandwidth { return po.rate }
+
+// TxPackets returns how many packets have been put on the wire.
+func (po *Port) TxPackets() uint64 { return po.txPackets }
+
+// TxBytes returns how many bytes have been put on the wire.
+func (po *Port) TxBytes() units.ByteSize { return po.txBytes }
+
+// SetDst rewires the port's destination (used by topology builders).
+func (po *Port) SetDst(dst Receiver) { po.dst = dst }
+
+// SetLoss makes the port drop transmitted packets uniformly at random with
+// the given probability — corruption/anomaly injection on the wire, after
+// the queue (so AQM statistics stay clean).
+func (po *Port) SetLoss(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	po.lossRate = rate
+	if po.rng == nil {
+		po.rng = sim.NewRNG(uint64(len(po.Name))*0x9e3779b97f4a7c15 + 0xbad)
+	}
+}
+
+// SetJitter adds a uniform random extra propagation delay in [0, d) per
+// packet. Note that jitter can reorder deliveries.
+func (po *Port) SetJitter(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	po.jitter = d
+	if po.rng == nil {
+		po.rng = sim.NewRNG(uint64(len(po.Name))*0x9e3779b97f4a7c15 + 0xbad)
+	}
+}
+
+// LossDrops returns how many packets were destroyed by injected loss.
+func (po *Port) LossDrops() uint64 { return po.lossDrops }
+
+// Receive implements Receiver: forward the packet out this port.
+func (po *Port) Receive(now sim.Time, p *packet.Packet) { po.Send(p) }
+
+// Send offers a packet to the egress queue and kicks the transmitter.
+func (po *Port) Send(p *packet.Packet) {
+	now := po.eng.Now()
+	if !po.queue.Enqueue(now, p) {
+		return // queue dropped (and released) it
+	}
+	if !po.busy {
+		po.transmitNext()
+	}
+}
+
+// transmitNext pulls the next packet from the queue and models its
+// serialization time; delivery happens a propagation delay after the last
+// bit leaves.
+func (po *Port) transmitNext() {
+	now := po.eng.Now()
+	p := po.queue.Dequeue(now)
+	if p == nil {
+		po.busy = false
+		return
+	}
+	po.busy = true
+	// Every packet passes Enqueue before reaching here, so EnqueueAt is
+	// always stamped (possibly 0 at simulation start).
+	sojourn := now - p.EnqueueAt
+	if sojourn > 0 {
+		po.sojournSum += sojourn
+		if sojourn > po.sojournMax {
+			po.sojournMax = sojourn
+		}
+	}
+	txTime := units.TransmissionTime(p.Size, po.rate)
+	po.eng.Schedule(txTime, func() {
+		po.txPackets++
+		po.txBytes += p.Size
+		dst := po.dst
+		switch {
+		case dst == nil:
+			packet.Release(p)
+		case po.lossRate > 0 && po.rng.Float64() < po.lossRate:
+			po.lossDrops++
+			packet.Release(p)
+		default:
+			delay := po.delay
+			if po.jitter > 0 {
+				delay += time.Duration(po.rng.Jitter(float64(po.jitter)))
+			}
+			if delay > 0 {
+				po.eng.Schedule(delay, func() { dst.Receive(po.eng.Now(), p) })
+			} else {
+				dst.Receive(po.eng.Now(), p)
+			}
+		}
+		po.transmitNext()
+	})
+}
+
+// Path is a convenience wrapper: a sequence of ports ending at an endpoint.
+type Path struct {
+	first Receiver
+}
+
+// NewPath chains hops so that packets injected at the head traverse each
+// port in order. The last hop must already point at the final endpoint.
+func NewPath(hops ...*Port) *Path {
+	if len(hops) == 0 {
+		return &Path{}
+	}
+	for i := 0; i < len(hops)-1; i++ {
+		hops[i].SetDst(hops[i+1])
+	}
+	return &Path{first: hops[0]}
+}
+
+// Inject starts a packet down the path.
+func (pa *Path) Inject(now sim.Time, p *packet.Packet) {
+	if pa.first == nil {
+		packet.Release(p)
+		return
+	}
+	pa.first.Receive(now, p)
+}
+
+// Sink counts and releases everything it receives; useful in tests and as a
+// drop target.
+type Sink struct {
+	Packets uint64
+	Bytes   units.ByteSize
+	LastAt  sim.Time
+}
+
+// Receive implements Receiver.
+func (s *Sink) Receive(now sim.Time, p *packet.Packet) {
+	s.Packets++
+	s.Bytes += p.Size
+	s.LastAt = now
+	packet.Release(p)
+}

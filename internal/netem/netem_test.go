@@ -1,0 +1,177 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func data(size units.ByteSize) *packet.Packet {
+	p := packet.New()
+	p.Kind = packet.Data
+	p.Size = size
+	return p
+}
+
+func TestPortSerializationTiming(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	// 100 Mbps, 10 ms propagation. 8960B => 716.8us serialization.
+	po := NewPort(eng, "p", 100*units.MegabitPerSec, 10*time.Millisecond, aqm.NewFIFO(1<<20), sink)
+	po.Send(data(8960))
+	eng.Run()
+	want := sim.Duration(716800*time.Nanosecond + 10*time.Millisecond)
+	if sink.LastAt != want {
+		t.Fatalf("delivery at %v, want %v", sink.LastAt, want)
+	}
+	if sink.Packets != 1 {
+		t.Fatalf("packets = %d", sink.Packets)
+	}
+}
+
+func TestPortBackToBackRate(t *testing.T) {
+	// N packets sent at once drain at exactly the link rate.
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	po := NewPort(eng, "p", 1*units.GigabitPerSec, 0, aqm.NewFIFO(1<<30), sink)
+	const n = 100
+	for i := 0; i < n; i++ {
+		po.Send(data(8960))
+	}
+	eng.Run()
+	wantDur := units.TransmissionTime(8960*n, 1*units.GigabitPerSec)
+	if got := sink.LastAt.Std(); got != wantDur {
+		t.Fatalf("drained in %v, want %v", got, wantDur)
+	}
+	if po.TxPackets() != n || po.TxBytes() != 8960*n {
+		t.Fatalf("tx counters: %d pkts %d bytes", po.TxPackets(), po.TxBytes())
+	}
+}
+
+func TestPortQueueOverflowDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	po := NewPort(eng, "p", 10*units.MegabitPerSec, 0, aqm.NewFIFO(20_000), sink)
+	for i := 0; i < 10; i++ { // 89.6KB offered into a 20KB queue
+		po.Send(data(8960))
+	}
+	eng.Run()
+	if po.Queue().Stats().Dropped == 0 {
+		t.Fatal("expected tail drops")
+	}
+	if sink.Packets+po.Queue().Stats().Dropped != 10 {
+		t.Fatalf("conservation: %d delivered + %d dropped != 10",
+			sink.Packets, po.Queue().Stats().Dropped)
+	}
+}
+
+func TestPathChaining(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	p3 := NewPort(eng, "p3", 1*units.GigabitPerSec, 5*time.Millisecond, nil, sink)
+	p2 := NewPort(eng, "p2", 1*units.GigabitPerSec, 5*time.Millisecond, nil, nil)
+	p1 := NewPort(eng, "p1", 1*units.GigabitPerSec, 5*time.Millisecond, nil, nil)
+	path := NewPath(p1, p2, p3)
+	path.Inject(0, data(1000))
+	eng.Run()
+	if sink.Packets != 1 {
+		t.Fatal("packet lost in path")
+	}
+	// Three hops: 3 × (8us serialization + 5ms propagation).
+	wantMin := sim.Duration(15 * time.Millisecond)
+	if sink.LastAt < wantMin {
+		t.Fatalf("delivered too early: %v < %v", sink.LastAt, wantMin)
+	}
+}
+
+func TestEmptyPathReleases(t *testing.T) {
+	path := NewPath()
+	path.Inject(0, data(1000)) // must not panic or leak
+}
+
+func TestBottleneckQueueing(t *testing.T) {
+	// Fast ingress into a slow egress builds a queue at the slow port.
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	slow := NewPort(eng, "slow", 10*units.MegabitPerSec, 0, aqm.NewFIFO(1<<30), sink)
+	fast := NewPort(eng, "fast", 1*units.GigabitPerSec, 0, aqm.NewFIFO(1<<30), slow)
+	maxQ := 0
+	for i := 0; i < 50; i++ {
+		fast.Send(data(8960))
+	}
+	// Sample queue length as the simulation progresses.
+	for i := 0; i < 100; i++ {
+		eng.Schedule(time.Duration(i)*100*time.Microsecond, func() {
+			if l := slow.Queue().Len(); l > maxQ {
+				maxQ = l
+			}
+		})
+	}
+	eng.Run()
+	if maxQ < 10 {
+		t.Fatalf("no queue built at bottleneck (max %d)", maxQ)
+	}
+	if sink.Packets != 50 {
+		t.Fatalf("delivered %d, want 50", sink.Packets)
+	}
+}
+
+func TestReceiverFunc(t *testing.T) {
+	called := false
+	var r Receiver = ReceiverFunc(func(now sim.Time, p *packet.Packet) {
+		called = true
+		packet.Release(p)
+	})
+	r.Receive(0, data(100))
+	if !called {
+		t.Fatal("ReceiverFunc not invoked")
+	}
+}
+
+func TestNilDstReleases(t *testing.T) {
+	eng := sim.NewEngine(1)
+	po := NewPort(eng, "p", 1*units.GigabitPerSec, 0, nil, nil)
+	po.Send(data(100))
+	eng.Run()
+	if po.TxPackets() != 1 {
+		t.Fatal("packet should still be transmitted")
+	}
+}
+
+func BenchmarkPortForwarding(b *testing.B) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	po := NewPort(eng, "p", 25*units.GigabitPerSec, 0, aqm.NewFIFO(1<<30), sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		po.Send(data(8960))
+		eng.Run()
+	}
+}
+
+func TestSojournStats(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &Sink{}
+	// 10 Mbps: each 8960B packet serializes in ~7.17ms, so the 5th packet
+	// queues for ~4 serialization times.
+	po := NewPort(eng, "p", 10*units.MegabitPerSec, 0, aqm.NewFIFO(1<<30), sink)
+	if po.Sojourn() != (SojournStats{}) {
+		t.Fatal("empty port should report zero sojourn")
+	}
+	for i := 0; i < 5; i++ {
+		po.Send(data(8960))
+	}
+	eng.Run()
+	st := po.Sojourn()
+	if st.Max < 25*time.Millisecond || st.Max > 35*time.Millisecond {
+		t.Fatalf("max sojourn = %v, want ~4×7.17ms", st.Max)
+	}
+	if st.Mean <= 0 || st.Mean > st.Max {
+		t.Fatalf("mean sojourn = %v (max %v)", st.Mean, st.Max)
+	}
+}

@@ -1,0 +1,87 @@
+// Package paper encodes the publication's reported results — Table 3 in
+// full, plus the qualitative claims of §5 — and compares a simulated sweep
+// against them. cmd/report uses it to generate EXPERIMENTS.md, so the
+// paper-vs-measured record always reflects an actual run.
+package paper
+
+import (
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/experiment"
+)
+
+// Table3Row is one published row of Table 3.
+type Table3Row struct {
+	Pairing experiment.Pairing
+	AQM     aqm.Kind
+	AvgPhi  float64
+	AvgRR   float64
+	AvgJain float64
+}
+
+// Table3 returns the paper's Table 3 exactly as printed.
+func Table3() []Table3Row {
+	p := func(a, b cca.Name) experiment.Pairing { return experiment.Pairing{CCA1: a, CCA2: b} }
+	return []Table3Row{
+		{p(cca.BBRv1, cca.BBRv1), aqm.KindFIFO, 0.986, 23.164, 0.995},
+		{p(cca.BBRv1, cca.Cubic), aqm.KindFIFO, 0.997, 14.916, 0.803},
+		{p(cca.BBRv2, cca.BBRv2), aqm.KindFIFO, 0.995, 1.141, 0.98},
+		{p(cca.BBRv2, cca.Cubic), aqm.KindFIFO, 0.998, 1.823, 0.934},
+		{p(cca.HTCP, cca.HTCP), aqm.KindFIFO, 0.999, 2.493, 1.0},
+		{p(cca.HTCP, cca.Cubic), aqm.KindFIFO, 0.997, 1.624, 0.971},
+		{p(cca.Reno, cca.Reno), aqm.KindFIFO, 0.997, 1.235, 0.994},
+		{p(cca.Reno, cca.Cubic), aqm.KindFIFO, 0.998, 1.01, 0.847},
+		{p(cca.Cubic, cca.Cubic), aqm.KindFIFO, 0.995, 1.0, 0.997},
+
+		{p(cca.BBRv1, cca.BBRv1), aqm.KindRED, 0.938, 47.687, 0.938},
+		{p(cca.BBRv1, cca.Cubic), aqm.KindRED, 0.94, 41.056, 0.522},
+		{p(cca.BBRv2, cca.BBRv2), aqm.KindRED, 0.903, 4.872, 0.999},
+		{p(cca.BBRv2, cca.Cubic), aqm.KindRED, 0.901, 3.675, 0.722},
+		{p(cca.HTCP, cca.HTCP), aqm.KindRED, 0.794, 1.497, 0.999},
+		{p(cca.HTCP, cca.Cubic), aqm.KindRED, 0.796, 1.272, 0.979},
+		{p(cca.Reno, cca.Reno), aqm.KindRED, 0.738, 1.281, 1.0},
+		{p(cca.Reno, cca.Cubic), aqm.KindRED, 0.766, 1.136, 1.0},
+		{p(cca.Cubic, cca.Cubic), aqm.KindRED, 0.788, 1.0, 1.0},
+
+		{p(cca.BBRv1, cca.BBRv1), aqm.KindFQCoDel, 0.971, 24.468, 1.0},
+		{p(cca.BBRv1, cca.Cubic), aqm.KindFQCoDel, 0.97, 13.986, 0.994},
+		{p(cca.BBRv2, cca.BBRv2), aqm.KindFQCoDel, 0.977, 4.386, 1.0},
+		{p(cca.BBRv2, cca.Cubic), aqm.KindFQCoDel, 0.975, 2.312, 0.998},
+		{p(cca.HTCP, cca.HTCP), aqm.KindFQCoDel, 0.969, 1.135, 1.0},
+		{p(cca.HTCP, cca.Cubic), aqm.KindFQCoDel, 0.972, 1.057, 1.0},
+		{p(cca.Reno, cca.Reno), aqm.KindFQCoDel, 0.94, 0.852, 1.0},
+		{p(cca.Reno, cca.Cubic), aqm.KindFQCoDel, 0.96, 0.891, 0.998},
+		{p(cca.Cubic, cca.Cubic), aqm.KindFQCoDel, 0.974, 1.0, 1.0},
+	}
+}
+
+// FindTable3 returns the published row for a pairing×AQM, or nil.
+func FindTable3(p experiment.Pairing, a aqm.Kind) *Table3Row {
+	for _, r := range Table3() {
+		if r.Pairing == p && r.AQM == a {
+			row := r
+			return &row
+		}
+	}
+	return nil
+}
+
+// Verdict grades one claim's reproduction.
+type Verdict string
+
+// Verdict levels.
+const (
+	Reproduced Verdict = "REPRODUCED" // direction and rough magnitude hold
+	Partial    Verdict = "PARTIAL"    // direction holds, magnitude differs
+	Deviates   Verdict = "DEVIATES"   // direction differs
+	NoData     Verdict = "NO DATA"    // sweep lacks the needed cells
+)
+
+// Claim is one qualitative finding of the paper, checkable against a
+// summarized sweep.
+type Claim struct {
+	ID     string // e.g. "fig2-equilibrium"
+	Source string // where the paper states it
+	Text   string // the claim, paraphrased
+	Check  func(s *experiment.Summary) (Verdict, string)
+}

@@ -1,0 +1,53 @@
+package paper
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestRecordedSweepReproduces grades the checked-in sweep results (the ones
+// EXPERIMENTS.md is generated from) against the paper's claims. Skipped
+// when no recorded results are present (e.g. a fresh checkout) — run
+// `cmd/sweep` into results/ to enable it.
+func TestRecordedSweepReproduces(t *testing.T) {
+	dir := filepath.Join("..", "..", "results")
+	paths, _ := filepath.Glob(filepath.Join(dir, "b*.json"))
+	if len(paths) == 0 {
+		t.Skip("no recorded sweep results under results/")
+	}
+	var all []experiment.Result
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := experiment.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		all = append(all, rs.Results...)
+	}
+	s := experiment.Summarize(all)
+
+	reproduced, deviates := 0, 0
+	for _, c := range Claims() {
+		v, detail := c.Check(s)
+		t.Logf("%-24s %-10s %s", c.ID, v, detail)
+		switch v {
+		case Reproduced:
+			reproduced++
+		case Deviates:
+			deviates++
+		}
+	}
+	if reproduced < 8 {
+		t.Errorf("only %d claims reproduced on the recorded sweep", reproduced)
+	}
+	if deviates > 2 {
+		t.Errorf("%d claims deviate on the recorded sweep", deviates)
+	}
+}

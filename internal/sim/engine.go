@@ -1,0 +1,169 @@
+// Package sim implements the discrete-event simulation engine every other
+// subsystem runs on: a nanosecond-resolution virtual clock, a binary-heap
+// event queue with stable FIFO ordering for simultaneous events, and a
+// deterministic random number generator.
+//
+// One Engine is owned by exactly one goroutine; parallelism in the harness
+// comes from running many independent engines concurrently, never from
+// sharing one.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a simulation timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration converts a standard library duration to simulation ticks.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns the timestamp in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Std converts a simulation timestamp back into a time.Duration.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a scheduled callback. Run executes at the event's deadline.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among same-time events
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 when not queued
+}
+
+// Cancel prevents a pending event from running. Safe to call multiple times
+// and after the event has fired (then it is a no-op).
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+
+// At returns the scheduled time of the event.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	rng     *RNG
+
+	// Stats.
+	executed uint64
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic RNG
+// seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Executed returns the number of events run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay. A negative delay is clamped to zero
+// (runs at the current time, after already-queued same-time events).
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+Duration(delay), fn)
+}
+
+// ScheduleAt queues fn to run at absolute time at. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(Time(1<<63 - 1))
+}
+
+// RunUntil executes events with deadlines <= end, advancing the clock to end
+// (or to the last event, whichever is later is not: clock finishes at end if
+// events ran out earlier).
+func (e *Engine) RunUntil(end Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		e.executed++
+		next.fn()
+	}
+	if e.now < end && end < Time(1<<63-1) {
+		e.now = end
+	}
+}
+
+// RunFor executes events for d of simulated time from the current clock.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now + Duration(d))
+}

@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != Duration(30*time.Millisecond) {
+		t.Errorf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events not FIFO: %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ev := e.Schedule(time.Millisecond, func() { ran = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending")
+	}
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	ev.Cancel() // double-cancel is a no-op
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	var tick func()
+	n := 0
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		n++
+		if n < 5 {
+			e.Schedule(time.Second, tick)
+		}
+	}
+	e.Schedule(time.Second, tick)
+	e.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("want 5 ticks, got %d", len(ticks))
+	}
+	for i, at := range ticks {
+		if want := Duration(time.Duration(i+1) * time.Second); at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestRunUntilClampsClock(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {})
+	e.RunUntil(Duration(10 * time.Second))
+	if e.Now() != Duration(10*time.Second) {
+		t.Errorf("clock = %v, want 10s", e.Now())
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Second, func() { ran++ })
+	e.Schedule(3*time.Second, func() { ran++ })
+	e.RunUntil(Duration(2 * time.Second))
+	if ran != 1 {
+		t.Fatalf("want 1 event before deadline, got %d", ran)
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("want the later event to fire on resume, got %d", ran)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Millisecond, func() { ran++; e.Stop() })
+	e.Schedule(2*time.Millisecond, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the loop: ran=%d", ran)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {
+		fired := false
+		e.Schedule(-5*time.Second, func() { fired = true })
+		e.Schedule(0, func() {
+			if !fired {
+				t.Error("negative-delay event should run before later zero-delay event")
+			}
+		})
+	})
+	e.Run()
+	if e.Now() != Duration(time.Second) {
+		t.Errorf("clock went backwards: %v", e.Now())
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	// Any set of random delays must execute in nondecreasing time order.
+	f := func(delays []uint32) bool {
+		e := NewEngine(7)
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(time.Duration(d%1e6)*time.Microsecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds suspiciously correlated: %d/1000 equal", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) did not cover all values in 1000 draws: %d", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3.0)
+	}
+	mean := sum / n
+	if mean < 2.9 || mean > 3.1 {
+		t.Errorf("Exp mean = %.3f, want ~3.0", mean)
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	ev := e.Schedule(time.Millisecond, func() {})
+	ev.Cancel()
+	e.Run()
+	if e.Executed() != 5 {
+		t.Errorf("Executed = %d, want 5 (cancelled events don't count)", e.Executed())
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j)*time.Microsecond, func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkEngineChainedEvents(b *testing.B) {
+	// The dominant pattern in the simulator: each event schedules the next.
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Schedule(time.Microsecond, step)
+	e.Run()
+}
+
+func TestTimeHelpers(t *testing.T) {
+	ti := Duration(1500 * time.Millisecond)
+	if ti.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v", ti.Seconds())
+	}
+	if ti.Std() != 1500*time.Millisecond {
+		t.Errorf("Std = %v", ti.Std())
+	}
+	if ti.String() != "1.500000s" {
+		t.Errorf("String = %q", ti.String())
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(2*time.Second, func() {})
+	if ev.At() != Duration(2*time.Second) {
+		t.Errorf("At = %v", ev.At())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {
+		ran := false
+		e.ScheduleAt(0, func() { ran = true }) // in the past: clamped to now
+		e.Schedule(0, func() {
+			if !ran {
+				t.Error("past-scheduled event should run immediately")
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestNilEventCancelSafe(t *testing.T) {
+	var ev *Event
+	ev.Cancel() // must not panic
+	if ev.Pending() {
+		t.Error("nil event cannot be pending")
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(10)
+		if j < 0 || j >= 10 {
+			t.Fatalf("jitter out of range: %v", j)
+		}
+	}
+	if r.Jitter(0) != 0 || r.Jitter(-1) != 0 {
+		t.Error("non-positive max should yield 0")
+	}
+	if r.Exp(0) != 0 || r.Exp(-2) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}

@@ -1,0 +1,103 @@
+// Package tcp implements the transport endpoints the experiments drive: a
+// bulk-transfer sender with window- and pacing-based transmission, RACK-style
+// loss detection, RFC 6298 retransmission timing, a delivery-rate sampler
+// (per the BBR draft), and a receiver that ACKs every segment. Congestion
+// control is pluggable through the CongestionControl interface; the five
+// algorithms the paper studies live in internal/cca.
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// AckSample is everything a congestion controller learns from one ACK.
+type AckSample struct {
+	Now        sim.Time
+	AckedBytes int64         // bytes newly acknowledged cumulatively
+	RTT        time.Duration // RTT sample from the triggering segment (0 if none)
+	Delivered  int64         // connection's total delivered bytes
+
+	// DeliveryRate is the sampled delivery rate per the BBR
+	// delivery-rate-estimation draft; 0 when the sample is invalid.
+	DeliveryRate   units.Bandwidth
+	RateAppLimited bool
+
+	Inflight   int64 // bytes in flight after processing this ACK
+	LostBytes  int64 // bytes newly marked lost while processing this ACK
+	CE         bool  // the acked segment was ECN CE-marked
+	RoundStart bool  // this ACK begins a new round trip
+	InRecovery bool
+}
+
+// CongestionControl is the pluggable algorithm deciding cwnd and pacing.
+// Implementations mutate the connection through SetCwnd/SetPacingRate and
+// read its telemetry accessors. All callbacks run on the simulation
+// goroutine.
+type CongestionControl interface {
+	// Name identifies the algorithm ("cubic", "bbr1", ...).
+	Name() string
+	// Init is called once when the connection is created.
+	Init(c *Conn)
+	// OnAck is called for every arriving ACK after the connection has
+	// updated its own state.
+	OnAck(c *Conn, s AckSample)
+	// OnCongestionEvent is called once per recovery episode, when loss (or
+	// an ECN echo, if the controller opted in) is first detected.
+	OnCongestionEvent(c *Conn)
+	// OnRTO is called when the retransmission timer fires.
+	OnRTO(c *Conn)
+	// OnPacketSent is called after each (re)transmission.
+	OnPacketSent(c *Conn, bytes int64)
+}
+
+// rttEstimator implements RFC 6298 smoothing with a Linux-style 200 ms
+// minimum RTO and exponential backoff.
+type rttEstimator struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	minRTT time.Duration
+	rto    time.Duration
+	init   bool
+}
+
+const (
+	minRTO     = 200 * time.Millisecond
+	maxRTO     = 60 * time.Second
+	initialRTO = time.Second
+)
+
+func newRTTEstimator() rttEstimator {
+	return rttEstimator{rto: initialRTO}
+}
+
+// update folds in one RTT sample.
+func (r *rttEstimator) update(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if r.minRTT == 0 || sample < r.minRTT {
+		r.minRTT = sample
+	}
+	if !r.init {
+		r.srtt = sample
+		r.rttvar = sample / 2
+		r.init = true
+	} else {
+		d := r.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		r.rttvar = (3*r.rttvar + d) / 4
+		r.srtt = (7*r.srtt + sample) / 8
+	}
+	r.rto = r.srtt + 4*r.rttvar
+	if r.rto < minRTO {
+		r.rto = minRTO
+	}
+	if r.rto > maxRTO {
+		r.rto = maxRTO
+	}
+}

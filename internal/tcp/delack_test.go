@@ -1,0 +1,100 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func newDelAckNet(t testing.TB, cc CongestionControl, cfg Config) *testNet {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	n := &testNet{eng: eng}
+	back := netem.NewPort(eng, "back", 100*units.GigabitPerSec, 5*time.Millisecond, nil, nil)
+	n.bott = netem.NewPort(eng, "bott", 100*units.MegabitPerSec, 5*time.Millisecond, aqm.NewFIFO(1<<30), nil)
+	n.conn = NewConn(eng, 1, cfg, cc, func(p *packet.Packet) { n.bott.Send(p) })
+	n.rcv = NewDelayedAckReceiver(eng, 1, cfg.Header, func(p *packet.Packet) { back.Send(p) })
+	n.bott.SetDst(n.rcv)
+	back.SetDst(n.conn)
+	return n
+}
+
+func TestDelayedAckHalvesAckCount(t *testing.T) {
+	cc := &stubCC{fixedCwnd: 64 * 8900}
+	n := newDelAckNet(t, cc, Config{LimitBytes: 5_000_000})
+	n.conn.Start()
+	n.eng.RunFor(20 * time.Second)
+	if n.rcv.Goodput() != 5_000_000 {
+		t.Fatalf("transfer incomplete: %d", n.rcv.Goodput())
+	}
+	segments := uint64(5_000_000/8900) + 1
+	acks := n.rcv.AcksSent()
+	// Roughly one ACK per two segments (plus timer flushes).
+	if acks > segments*3/4 {
+		t.Fatalf("delayed ACKs barely coalesced: %d acks for %d segments", acks, segments)
+	}
+	if acks < segments/3 {
+		t.Fatalf("too few ACKs: %d for %d segments", acks, segments)
+	}
+}
+
+func TestDelayedAckTimerFlushesLoneSegment(t *testing.T) {
+	cc := &stubCC{fixedCwnd: 8900} // window of one segment: every ACK is lone
+	n := newDelAckNet(t, cc, Config{LimitBytes: 8900})
+	n.conn.Start()
+	n.eng.RunFor(2 * time.Second)
+	if n.conn.Stats().BytesAcked != 8900 {
+		t.Fatal("lone segment never acknowledged — delayed-ACK timer broken")
+	}
+	if n.conn.Stats().RTOs != 0 {
+		t.Fatal("delack timer (40ms) must fire before the RTO (200ms)")
+	}
+}
+
+func TestDelayedAckStillRecoveresLoss(t *testing.T) {
+	// Out-of-order arrivals must generate immediate dupacks even in
+	// delayed-ACK mode, keeping loss detection fast.
+	eng := sim.NewEngine(1)
+	cc := &stubCC{fixedCwnd: 64 * 8900}
+	back := netem.NewPort(eng, "back", 100*units.GigabitPerSec, 5*time.Millisecond, nil, nil)
+	fwd := netem.NewPort(eng, "fwd", 100*units.MegabitPerSec, 5*time.Millisecond, aqm.NewFIFO(1<<30), nil)
+	fwd.SetLoss(0.01)
+	conn := NewConn(eng, 1, Config{LimitBytes: 5_000_000}, cc, func(p *packet.Packet) { fwd.Send(p) })
+	rcv := NewDelayedAckReceiver(eng, 1, 60, func(p *packet.Packet) { back.Send(p) })
+	fwd.SetDst(rcv)
+	back.SetDst(conn)
+	done := false
+	conn.OnDone(func(*Conn) { done = true })
+	conn.Start()
+	eng.RunFor(60 * time.Second)
+	if !done || rcv.Goodput() != 5_000_000 {
+		t.Fatalf("lossy delack transfer incomplete: %d", rcv.Goodput())
+	}
+}
+
+func TestDelayedAckThroughputComparable(t *testing.T) {
+	// Coalesced ACKs must not tank throughput for a windowed sender.
+	run := func(delack bool) float64 {
+		cc := &stubCC{fixedCwnd: 4 * 775_000}
+		var n *testNet
+		if delack {
+			n = newDelAckNet(t, cc, Config{})
+		} else {
+			n = newTestNet(t, 100*units.MegabitPerSec, 5*time.Millisecond,
+				aqm.NewFIFO(1<<30), cc, Config{})
+		}
+		n.conn.Start()
+		n.eng.RunFor(10 * time.Second)
+		return float64(n.rcv.Goodput()) * 8 / 10
+	}
+	with := run(true)
+	without := run(false)
+	if with < 0.85*without {
+		t.Fatalf("delayed ACKs cost too much: %.1fM vs %.1fM", with/1e6, without/1e6)
+	}
+}

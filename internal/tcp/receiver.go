@@ -1,0 +1,176 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Receiver is the data sink of one flow. By default it ACKs every arriving
+// segment (cumulative ACK plus the echo fields the sender's loss detection
+// and delivery-rate sampler need); with delayed ACKs enabled it
+// acknowledges every second in-order segment or after the 40 ms timer,
+// while out-of-order arrivals are ACKed immediately (RFC 5681 §4.2).
+type Receiver struct {
+	eng    *sim.Engine
+	flow   packet.FlowID
+	hdr    units.ByteSize
+	inject func(*packet.Packet) // injects ACKs toward the sender
+
+	rcvNxt int64
+	ooo    map[int64]int64 // out-of-order segments: seq -> len
+
+	bytesIn     int64 // all payload bytes that arrived (incl. duplicates)
+	dupSegments uint64
+
+	// Delayed-ACK state.
+	delayAck   bool
+	pendingAck *pendingEcho
+	delTimer   *sim.Event
+	acksSent   uint64
+}
+
+// pendingEcho holds the echo fields of the newest unacknowledged segment.
+type pendingEcho struct {
+	ackedSeq      int64
+	echoSent      sim.Time
+	echoCE        bool
+	delivered     int64
+	deliveredTime sim.Time
+	firstSentTime sim.Time
+	appLimited    bool
+}
+
+// delAckTimeout mirrors Linux's delayed-ACK timer.
+const delAckTimeout = 40 * time.Millisecond
+
+// NewReceiver creates the receiving endpoint for flow id; ACKs are injected
+// via inject (typically the server NIC port).
+func NewReceiver(eng *sim.Engine, id packet.FlowID, header units.ByteSize, inject func(*packet.Packet)) *Receiver {
+	if header <= 0 {
+		header = 60
+	}
+	return &Receiver{
+		eng:    eng,
+		flow:   id,
+		hdr:    header,
+		inject: inject,
+		ooo:    make(map[int64]int64),
+	}
+}
+
+// NewDelayedAckReceiver returns a receiver with delayed ACKs enabled.
+func NewDelayedAckReceiver(eng *sim.Engine, id packet.FlowID, header units.ByteSize, inject func(*packet.Packet)) *Receiver {
+	r := NewReceiver(eng, id, header, inject)
+	r.delayAck = true
+	return r
+}
+
+// AcksSent returns how many ACK packets left this receiver.
+func (r *Receiver) AcksSent() uint64 { return r.acksSent }
+
+// Goodput returns the contiguous bytes received so far.
+func (r *Receiver) Goodput() int64 { return r.rcvNxt }
+
+// BytesIn returns all payload bytes that arrived, duplicates included.
+func (r *Receiver) BytesIn() int64 { return r.bytesIn }
+
+// DupSegments returns how many duplicate segments arrived.
+func (r *Receiver) DupSegments() uint64 { return r.dupSegments }
+
+// Receive implements netem.Receiver for the data direction.
+func (r *Receiver) Receive(now sim.Time, p *packet.Packet) {
+	if p.Kind != packet.Data {
+		packet.Release(p)
+		return
+	}
+	r.bytesIn += p.DataLen
+
+	inOrder := false
+	switch {
+	case p.Seq == r.rcvNxt:
+		inOrder = true
+		r.rcvNxt += p.DataLen
+		// Merge any buffered continuation.
+		for {
+			l, ok := r.ooo[r.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt += l
+		}
+	case p.Seq > r.rcvNxt:
+		if _, dup := r.ooo[p.Seq]; dup {
+			r.dupSegments++
+		} else {
+			r.ooo[p.Seq] = p.DataLen
+		}
+	default:
+		r.dupSegments++ // already delivered
+	}
+
+	echo := pendingEcho{
+		ackedSeq:      p.Seq,
+		echoSent:      p.SentAt,
+		echoCE:        p.ECN == packet.CE,
+		delivered:     p.Delivered,
+		deliveredTime: p.DeliveredTime,
+		firstSentTime: p.FirstSentTime,
+		appLimited:    p.AppLimited,
+	}
+	packet.Release(p)
+
+	if !r.delayAck || !inOrder || echo.echoCE {
+		// Immediate ACK: per-packet mode, out-of-order arrival (dupack for
+		// fast loss detection), or a CE echo the sender must see promptly.
+		if r.pendingAck != nil {
+			r.pendingAck = nil
+			if r.delTimer != nil {
+				r.delTimer.Cancel()
+			}
+		}
+		r.sendAck(echo)
+		return
+	}
+
+	if r.pendingAck != nil {
+		// Second in-order segment: ACK now, covering both.
+		r.pendingAck = nil
+		if r.delTimer != nil {
+			r.delTimer.Cancel()
+		}
+		r.sendAck(echo)
+		return
+	}
+	// First in-order segment: hold and arm the delayed-ACK timer.
+	held := echo
+	r.pendingAck = &held
+	r.delTimer = r.eng.Schedule(delAckTimeout, func() {
+		if r.pendingAck != nil {
+			e := *r.pendingAck
+			r.pendingAck = nil
+			r.sendAck(e)
+		}
+	})
+}
+
+// sendAck emits a cumulative ACK carrying the given echo fields.
+func (r *Receiver) sendAck(e pendingEcho) {
+	ack := packet.New()
+	ack.Kind = packet.Ack
+	ack.Flow = r.flow
+	ack.Size = r.hdr
+	ack.CumAck = r.rcvNxt
+	ack.AckedSeq = e.ackedSeq
+	ack.EchoSent = e.echoSent
+	ack.EchoCE = e.echoCE
+	ack.Delivered = e.delivered
+	ack.DeliveredTime = e.deliveredTime
+	ack.FirstSentTime = e.firstSentTime
+	ack.AppLimited = e.appLimited
+	r.acksSent++
+	r.inject(ack)
+}

@@ -1,0 +1,244 @@
+// Package topo builds the paper's experimental topology (Fig. 1): a
+// dumbbell of two traffic-generating client nodes (Clemson), two routers
+// (Washington, NCSA) whose interconnect is the bottleneck carrying the AQM
+// under test, and two server nodes (TACC), with a 62 ms end-to-end RTT.
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// Config describes the dumbbell. Zero values select the paper's setup.
+type Config struct {
+	BottleneckBW units.Bandwidth // router1→router2 rate (the tc-limited link)
+	EdgeBW       units.Bandwidth // client/server NIC rate (default 25 Gbps)
+	CoreBW       units.Bandwidth // router2→servers and reverse core (default 100 Gbps)
+	RTT          time.Duration   // end-to-end round trip (default 62 ms)
+	Queue        aqm.Config      // bottleneck queue discipline + capacity
+
+	// PathLoss injects uniform random loss on the forward core segment
+	// (router2→servers), after the bottleneck queue — the "variable rates
+	// of packet loss" anomaly from the paper's future-work section.
+	PathLoss float64
+}
+
+func (cfg *Config) defaults() error {
+	if cfg.BottleneckBW <= 0 {
+		return fmt.Errorf("topo: BottleneckBW must be positive")
+	}
+	if cfg.EdgeBW <= 0 {
+		cfg.EdgeBW = 25 * units.GigabitPerSec
+	}
+	if cfg.CoreBW <= 0 {
+		cfg.CoreBW = 100 * units.GigabitPerSec
+	}
+	if cfg.RTT <= 0 {
+		cfg.RTT = 62 * time.Millisecond
+	}
+	if cfg.Queue.Capacity <= 0 {
+		cfg.Queue.Capacity = units.QueueBytes(cfg.BottleneckBW, cfg.RTT, 1, 8960)
+	}
+	return nil
+}
+
+// Demux routes packets to per-flow endpoints at the edge of the network.
+type Demux struct {
+	m map[packet.FlowID]netem.Receiver
+}
+
+// NewDemux returns an empty demultiplexer.
+func NewDemux() *Demux { return &Demux{m: make(map[packet.FlowID]netem.Receiver)} }
+
+// Register binds a flow to an endpoint.
+func (d *Demux) Register(id packet.FlowID, r netem.Receiver) { d.m[id] = r }
+
+// Receive implements netem.Receiver.
+func (d *Demux) Receive(now sim.Time, p *packet.Packet) {
+	if r, ok := d.m[p.Flow]; ok {
+		r.Receive(now, p)
+		return
+	}
+	packet.Release(p)
+}
+
+// Flow is one sender/receiver pair attached to the dumbbell.
+type Flow struct {
+	ID     packet.FlowID
+	Sender int // 0 or 1: which client node the flow originates from
+	Conn   *tcp.Conn
+	Rcv    *tcp.Receiver
+	CCName string
+}
+
+// Dumbbell is the wired topology. Flows attach via AddFlow.
+type Dumbbell struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	// Bottleneck is router1's egress toward router2 — the port carrying
+	// the AQM and rate limit under test.
+	Bottleneck *netem.Port
+
+	clientTx [2]*netem.Port // client NIC egress (forward direction)
+	serverTx [2]*netem.Port // server NIC egress (ACK direction)
+	fwdCore  *netem.Port    // router2 → servers
+	revCore1 *netem.Port    // router2 → router1 (reverse)
+	revCore2 *netem.Port    // router1 → clients (reverse)
+
+	srvDemux *Demux
+	cliDemux *Demux
+
+	flows  []*Flow
+	nextID packet.FlowID
+}
+
+// NewDumbbell wires the topology on eng.
+func NewDumbbell(eng *sim.Engine, cfg Config) (*Dumbbell, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	d := &Dumbbell{Eng: eng, Cfg: cfg, srvDemux: NewDemux(), cliDemux: NewDemux()}
+
+	// One-way delay split across the three forward hops, mirroring the
+	// Clemson→Washington→NCSA→TACC legs.
+	owd := cfg.RTT / 2
+	dEdge := owd / 4 // client→router1 and router2→server
+	dCore := owd / 2 // router1→router2 (the long continental leg)
+
+	// RED thresholds default to half the link BDP, capped at a fixed
+	// 400 KB — i.e. RED tuned for a 100 Mbps-class link and never
+	// rescaled. This is deliberate calibration to the paper: its RED
+	// results are flat in buffer size (thresholds don't track the
+	// configured limit), tolerable at 100-500 Mbps, and collapse as
+	// bandwidth grows past 1 Gbps, with the authors concluding RED's
+	// "internal parameters need to be properly optimized" for high-BW
+	// links — the signature of fixed thresholds starving a growing BDP.
+	// RED also needs the egress packet time for its idle-decay law.
+	q := cfg.Queue
+	if q.Kind == aqm.KindRED {
+		if q.RED.MaxTh <= 0 {
+			q.RED.MaxTh = units.BDP(cfg.BottleneckBW, cfg.RTT) / 2
+			if q.RED.MaxTh > 400_000 {
+				q.RED.MaxTh = 400_000
+			}
+		}
+		if q.RED.MinTh <= 0 {
+			q.RED.MinTh = q.RED.MaxTh / 3
+		}
+		if q.RED.MeanPktTime <= 0 {
+			q.RED.MeanPktTime = units.TransmissionTime(8960, cfg.BottleneckBW)
+		}
+		// max_p 1%: with Floyd's count-based spreading the effective drop
+		// rate approaches 2·max_p near MaxTh, and the paper's analysis
+		// hinges on RED's random-drop rate "rarely exceeding" BBRv2's 2%
+		// per-round loss threshold.
+		if q.RED.MaxP <= 0 {
+			q.RED.MaxP = 0.01
+		}
+	}
+	// Linux fq_codel enforces a 32 MB memory_limit by default no matter
+	// what packet limit is configured. At 25 Gbps that is only ~0.17 BDP,
+	// which is why the paper finds FQ_CODEL unable to fill its largest
+	// link while doing fine at 10 Gbps and below.
+	if q.Kind == aqm.KindFQCoDel && q.Capacity > 32*units.Megabyte {
+		q.Capacity = 32 * units.Megabyte
+	}
+	queue, err := aqm.New(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Forward direction.
+	d.fwdCore = netem.NewPort(eng, "r2->srv", cfg.CoreBW, dEdge, nil, d.srvDemux)
+	if cfg.PathLoss > 0 {
+		d.fwdCore.SetLoss(cfg.PathLoss)
+	}
+	d.Bottleneck = netem.NewPort(eng, "r1->r2", cfg.BottleneckBW, dCore, queue, d.fwdCore)
+	d.clientTx[0] = netem.NewPort(eng, "c1->r1", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.Bottleneck)
+	d.clientTx[1] = netem.NewPort(eng, "c2->r1", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.Bottleneck)
+
+	// Reverse (ACK) direction: uncongested core.
+	d.revCore2 = netem.NewPort(eng, "r1->cli", cfg.CoreBW, dEdge, nil, d.cliDemux)
+	d.revCore1 = netem.NewPort(eng, "r2->r1", cfg.CoreBW, dCore, nil, d.revCore2)
+	d.serverTx[0] = netem.NewPort(eng, "s1->r2", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.revCore1)
+	d.serverTx[1] = netem.NewPort(eng, "s2->r2", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.revCore1)
+
+	return d, nil
+}
+
+// AddFlow attaches a new flow originating at client node sender (0 or 1),
+// with congestion controller cc. The flow is not started; call
+// Flow.Conn.Start (or schedule it) to begin transmitting.
+func (d *Dumbbell) AddFlow(sender int, tcpCfg tcp.Config, cc tcp.CongestionControl) *Flow {
+	if sender != 0 && sender != 1 {
+		panic(fmt.Sprintf("topo: sender must be 0 or 1, got %d", sender))
+	}
+	d.nextID++
+	id := d.nextID
+
+	cliPort := d.clientTx[sender]
+	srvPort := d.serverTx[sender]
+
+	conn := tcp.NewConn(d.Eng, id, tcpCfg, cc, func(p *packet.Packet) { cliPort.Send(p) })
+	mkRcv := tcp.NewReceiver
+	if tcpCfg.DelayedAck {
+		mkRcv = tcp.NewDelayedAckReceiver
+	}
+	rcv := mkRcv(d.Eng, id, tcpCfg.Header, func(p *packet.Packet) { srvPort.Send(p) })
+	d.srvDemux.Register(id, rcv)
+	d.cliDemux.Register(id, conn)
+
+	f := &Flow{ID: id, Sender: sender, Conn: conn, Rcv: rcv, CCName: cc.Name()}
+	d.flows = append(d.flows, f)
+	return f
+}
+
+// Flows returns all attached flows.
+func (d *Dumbbell) Flows() []*Flow { return d.flows }
+
+// SenderFlows returns the flows originating at client node sender.
+func (d *Dumbbell) SenderFlows(sender int) []*Flow {
+	var out []*Flow
+	for _, f := range d.flows {
+		if f.Sender == sender {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SenderGoodput returns the cumulative contiguous bytes received across all
+// flows of one sender — the paper's per-sender throughput numerator.
+func (d *Dumbbell) SenderGoodput(sender int) int64 {
+	var total int64
+	for _, f := range d.flows {
+		if f.Sender == sender {
+			total += f.Rcv.Goodput()
+		}
+	}
+	return total
+}
+
+// SenderRetransmits returns total retransmitted segments for one sender.
+func (d *Dumbbell) SenderRetransmits(sender int) uint64 {
+	var total uint64
+	for _, f := range d.flows {
+		if f.Sender == sender {
+			total += f.Conn.Stats().Retransmits
+		}
+	}
+	return total
+}
+
+// TotalRetransmits sums retransmissions across all flows.
+func (d *Dumbbell) TotalRetransmits() uint64 {
+	return d.SenderRetransmits(0) + d.SenderRetransmits(1)
+}

@@ -1,0 +1,157 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{BottleneckBW: units.GigabitPerSec}
+	if err := cfg.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EdgeBW != 25*units.GigabitPerSec || cfg.CoreBW != 100*units.GigabitPerSec {
+		t.Errorf("edge/core defaults: %v %v", cfg.EdgeBW, cfg.CoreBW)
+	}
+	if cfg.RTT != 62*time.Millisecond {
+		t.Errorf("RTT default: %v", cfg.RTT)
+	}
+	if cfg.Queue.Capacity <= 0 {
+		t.Error("queue capacity not defaulted")
+	}
+	var bad Config
+	if err := bad.defaults(); err == nil {
+		t.Error("zero bottleneck should error")
+	}
+}
+
+func TestDumbbellRTT(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d, err := NewDumbbell(eng, Config{BottleneckBW: units.GigabitPerSec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := d.AddFlow(0, tcp.Config{}, cca.MustNew(cca.Cubic))
+	f.Conn.Start()
+	eng.RunFor(3 * time.Second)
+	min := f.Conn.MinRTT()
+	if min < 62*time.Millisecond || min > 66*time.Millisecond {
+		t.Fatalf("measured min RTT = %v, want ≈62ms", min)
+	}
+}
+
+func TestDumbbellSingleFlowUtilization(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := Config{
+		BottleneckBW: 100 * units.MegabitPerSec,
+		Queue: aqm.Config{
+			Kind:     aqm.KindFIFO,
+			Capacity: units.QueueBytes(100*units.MegabitPerSec, 62*time.Millisecond, 2, 8960),
+		},
+	}
+	d, err := NewDumbbell(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := d.AddFlow(0, tcp.Config{}, cca.MustNew(cca.Cubic))
+	f.Conn.Start()
+	dur := 30 * time.Second
+	eng.RunFor(dur)
+	rate := float64(d.SenderGoodput(0)) * 8 / dur.Seconds()
+	if rate < 0.85*100e6 {
+		t.Fatalf("utilization %.2f Mbps", rate/1e6)
+	}
+}
+
+func TestTwoSendersShareBottleneck(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := Config{
+		BottleneckBW: 100 * units.MegabitPerSec,
+		Queue: aqm.Config{
+			Kind:     aqm.KindFIFO,
+			Capacity: units.QueueBytes(100*units.MegabitPerSec, 62*time.Millisecond, 2, 8960),
+		},
+	}
+	d, err := NewDumbbell(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := d.AddFlow(0, tcp.Config{}, cca.MustNew(cca.Cubic))
+	f1 := d.AddFlow(1, tcp.Config{}, cca.MustNew(cca.Cubic))
+	f0.Conn.Start()
+	f1.Conn.Start()
+	dur := 60 * time.Second
+	eng.RunFor(dur)
+	g0 := float64(d.SenderGoodput(0))
+	g1 := float64(d.SenderGoodput(1))
+	total := (g0 + g1) * 8 / dur.Seconds()
+	if total < 0.85*100e6 {
+		t.Fatalf("combined utilization only %.1f Mbps", total/1e6)
+	}
+	ratio := g0 / g1
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Fatalf("identical CUBIC flows wildly unfair: %.0f vs %.0f (ratio %.2f)", g0, g1, ratio)
+	}
+}
+
+func TestDemuxUnknownFlowReleased(t *testing.T) {
+	d := NewDemux()
+	p := packet.New()
+	p.Flow = 99
+	d.Receive(0, p) // must not panic
+}
+
+func TestSenderAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d, _ := NewDumbbell(eng, Config{BottleneckBW: units.GigabitPerSec})
+	d.AddFlow(0, tcp.Config{}, cca.MustNew(cca.Reno))
+	d.AddFlow(0, tcp.Config{}, cca.MustNew(cca.Reno))
+	d.AddFlow(1, tcp.Config{}, cca.MustNew(cca.Cubic))
+	if len(d.Flows()) != 3 {
+		t.Fatalf("flows = %d", len(d.Flows()))
+	}
+	if len(d.SenderFlows(0)) != 2 || len(d.SenderFlows(1)) != 1 {
+		t.Fatal("sender grouping wrong")
+	}
+	ids := map[packet.FlowID]bool{}
+	for _, f := range d.Flows() {
+		if ids[f.ID] {
+			t.Fatal("duplicate flow ID")
+		}
+		ids[f.ID] = true
+	}
+}
+
+func TestAddFlowPanicsOnBadSender(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d, _ := NewDumbbell(eng, Config{BottleneckBW: units.GigabitPerSec})
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for sender=2")
+		}
+	}()
+	d.AddFlow(2, tcp.Config{}, cca.MustNew(cca.Reno))
+}
+
+func TestBottleneckCarriesConfiguredAQM(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for _, kind := range aqm.Kinds() {
+		d, err := NewDumbbell(eng, Config{
+			BottleneckBW: units.GigabitPerSec,
+			Queue:        aqm.Config{Kind: kind, Capacity: 1 << 20},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if got := d.Bottleneck.Queue().Name(); got != string(kind) {
+			t.Errorf("bottleneck queue = %s, want %s", got, kind)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package trace writes and parses iperf3-style JSON logs. The paper's
+// shared dataset is a tree of iperf3 interval reports; the harness emits the
+// same shape so existing parsing/plotting pipelines (and ML training jobs)
+// can consume simulator output unchanged.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Interval is one periodic report, mirroring iperf3's
+// intervals[].sum object.
+type Interval struct {
+	Start         float64 `json:"start"`           // seconds since flow start
+	End           float64 `json:"end"`             //
+	Seconds       float64 `json:"seconds"`         //
+	Bytes         int64   `json:"bytes"`           // payload bytes this interval
+	BitsPerSecond float64 `json:"bits_per_second"` //
+	Retransmits   uint64  `json:"retransmits"`     //
+	SndCwnd       int64   `json:"snd_cwnd"`        // bytes
+	RTT           int64   `json:"rtt"`             // microseconds, like iperf3
+}
+
+// End holds the closing summary, mirroring iperf3's end.sum_sent /
+// end.sum_received objects.
+type End struct {
+	SumSent struct {
+		Seconds       float64 `json:"seconds"`
+		Bytes         int64   `json:"bytes"`
+		BitsPerSecond float64 `json:"bits_per_second"`
+		Retransmits   uint64  `json:"retransmits"`
+	} `json:"sum_sent"`
+	SumReceived struct {
+		Seconds       float64 `json:"seconds"`
+		Bytes         int64   `json:"bytes"`
+		BitsPerSecond float64 `json:"bits_per_second"`
+	} `json:"sum_received"`
+}
+
+// Log is one flow's full report.
+type Log struct {
+	Title string `json:"title"` // e.g. "bbr1-vs-cubic/fifo/2bdp/1gbps/seed1/flow3"
+	Start struct {
+		Congestion string  `json:"congestion"` // CCA name
+		Sender     int     `json:"sender"`     // client node 0 or 1
+		FlowID     uint32  `json:"flow_id"`    //
+		TestStart  float64 `json:"test_start"` // sim seconds
+	} `json:"start"`
+	Intervals []Interval `json:"intervals"`
+	End       End        `json:"end"`
+}
+
+// Recorder accumulates a Log from periodic Observe calls.
+type Recorder struct {
+	log       Log
+	lastBytes int64
+	lastRtx   uint64
+	lastAt    float64
+	started   bool
+}
+
+// NewRecorder starts a log for one flow.
+func NewRecorder(title, cca string, sender int, flowID uint32, startAt time.Duration) *Recorder {
+	r := &Recorder{}
+	r.log.Title = title
+	r.log.Start.Congestion = cca
+	r.log.Start.Sender = sender
+	r.log.Start.FlowID = flowID
+	r.log.Start.TestStart = startAt.Seconds()
+	return r
+}
+
+// Observe appends an interval given current cumulative counters at simulated
+// time now (seconds).
+func (r *Recorder) Observe(now float64, bytes int64, retransmits uint64, cwnd int64, rtt time.Duration) {
+	if !r.started {
+		r.started = true
+		r.lastAt = r.log.Start.TestStart
+	}
+	dur := now - r.lastAt
+	if dur <= 0 {
+		return
+	}
+	db := bytes - r.lastBytes
+	iv := Interval{
+		Start:         r.lastAt,
+		End:           now,
+		Seconds:       dur,
+		Bytes:         db,
+		BitsPerSecond: float64(db) * 8 / dur,
+		Retransmits:   retransmits - r.lastRtx,
+		SndCwnd:       cwnd,
+		RTT:           rtt.Microseconds(),
+	}
+	r.log.Intervals = append(r.log.Intervals, iv)
+	r.lastBytes = bytes
+	r.lastRtx = retransmits
+	r.lastAt = now
+}
+
+// Finish fills the end summary and returns the completed log.
+func (r *Recorder) Finish(totalSeconds float64, sentBytes int64, rcvdBytes int64, retransmits uint64) *Log {
+	r.log.End.SumSent.Seconds = totalSeconds
+	r.log.End.SumSent.Bytes = sentBytes
+	r.log.End.SumSent.Retransmits = retransmits
+	if totalSeconds > 0 {
+		r.log.End.SumSent.BitsPerSecond = float64(sentBytes) * 8 / totalSeconds
+		r.log.End.SumReceived.BitsPerSecond = float64(rcvdBytes) * 8 / totalSeconds
+	}
+	r.log.End.SumReceived.Seconds = totalSeconds
+	r.log.End.SumReceived.Bytes = rcvdBytes
+	return &r.log
+}
+
+// Write serializes a log as indented JSON, like `iperf3 --json`.
+func Write(w io.Writer, l *Log) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// Parse reads one log back.
+func Parse(r io.Reader) (*Log, error) {
+	var l Log
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &l, nil
+}
+
+// MeanBps returns the mean of the interval rates (the statistic the paper's
+// plots are built from).
+func (l *Log) MeanBps() float64 {
+	if len(l.Intervals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, iv := range l.Intervals {
+		s += iv.BitsPerSecond
+	}
+	return s / float64(len(l.Intervals))
+}

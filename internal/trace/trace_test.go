@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderIntervals(t *testing.T) {
+	r := NewRecorder("t/flow1", "cubic", 0, 1, 0)
+	r.Observe(1.0, 1_000_000, 0, 100_000, 62*time.Millisecond)
+	r.Observe(2.0, 2_500_000, 3, 120_000, 63*time.Millisecond)
+	l := r.Finish(2.0, 2_600_000, 2_500_000, 3)
+
+	if len(l.Intervals) != 2 {
+		t.Fatalf("intervals = %d", len(l.Intervals))
+	}
+	iv0 := l.Intervals[0]
+	if iv0.Bytes != 1_000_000 || math.Abs(iv0.BitsPerSecond-8e6) > 1 {
+		t.Fatalf("interval 0: %+v", iv0)
+	}
+	iv1 := l.Intervals[1]
+	if iv1.Bytes != 1_500_000 || iv1.Retransmits != 3 {
+		t.Fatalf("interval 1: %+v", iv1)
+	}
+	if iv1.RTT != 63000 {
+		t.Fatalf("rtt us = %d", iv1.RTT)
+	}
+	if l.End.SumSent.Bytes != 2_600_000 || l.End.SumReceived.Bytes != 2_500_000 {
+		t.Fatalf("end: %+v", l.End)
+	}
+	if math.Abs(l.End.SumReceived.BitsPerSecond-1e7) > 1 {
+		t.Fatalf("recv bps: %v", l.End.SumReceived.BitsPerSecond)
+	}
+}
+
+func TestRecorderZeroDurationIgnored(t *testing.T) {
+	r := NewRecorder("t", "reno", 1, 2, 0)
+	r.Observe(1.0, 100, 0, 0, 0)
+	r.Observe(1.0, 200, 0, 0, 0) // same timestamp: dropped
+	l := r.Finish(1, 200, 200, 0)
+	if len(l.Intervals) != 1 {
+		t.Fatalf("intervals = %d", len(l.Intervals))
+	}
+}
+
+func TestRecorderStartOffset(t *testing.T) {
+	r := NewRecorder("t", "bbr1", 0, 3, 500*time.Millisecond)
+	r.Observe(1.5, 1000, 0, 0, 0)
+	l := r.Finish(1, 1000, 1000, 0)
+	if l.Intervals[0].Start != 0.5 || l.Intervals[0].Seconds != 1.0 {
+		t.Fatalf("offset interval: %+v", l.Intervals[0])
+	}
+	if l.Start.TestStart != 0.5 {
+		t.Fatalf("test_start = %v", l.Start.TestStart)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	r := NewRecorder("exp/fifo/2bdp", "bbr2", 1, 7, 0)
+	for i := 1; i <= 10; i++ {
+		r.Observe(float64(i), int64(i)*1_000_000, uint64(i), 50_000, 62*time.Millisecond)
+	}
+	l := r.Finish(10, 10_500_000, 10_000_000, 10)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"congestion": "bbr2"`) {
+		t.Error("missing CCA in JSON")
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != l.Title || len(got.Intervals) != 10 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Start.Congestion != "bbr2" || got.Start.FlowID != 7 {
+		t.Fatalf("start block: %+v", got.Start)
+	}
+	if got.End.SumSent.Bytes != 10_500_000 {
+		t.Fatalf("end block: %+v", got.End)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := Parse(strings.NewReader("{broken")); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+func TestMeanBps(t *testing.T) {
+	var l Log
+	if l.MeanBps() != 0 {
+		t.Error("empty log mean should be 0")
+	}
+	l.Intervals = []Interval{{BitsPerSecond: 10}, {BitsPerSecond: 20}}
+	if l.MeanBps() != 15 {
+		t.Errorf("mean = %v", l.MeanBps())
+	}
+}

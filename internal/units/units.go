@@ -1,0 +1,171 @@
+// Package units provides value types for the quantities the simulator
+// manipulates constantly: bandwidths, byte sizes, and durations, plus the
+// bandwidth-delay-product arithmetic the paper's buffer sizing is built on
+// (eq. 1 of the paper).
+//
+// All conversions are integer-exact where possible so simulations stay
+// deterministic across platforms.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bandwidth is a link or flow rate in bits per second.
+type Bandwidth int64
+
+// Common bandwidths, including the paper's five bottleneck settings.
+const (
+	BitPerSecond  Bandwidth = 1
+	KilobitPerSec           = 1000 * BitPerSecond
+	MegabitPerSec           = 1000 * KilobitPerSec
+	GigabitPerSec           = 1000 * MegabitPerSec
+)
+
+// PaperBandwidths are the five bottleneck bandwidths of Table 1.
+func PaperBandwidths() []Bandwidth {
+	return []Bandwidth{
+		100 * MegabitPerSec,
+		500 * MegabitPerSec,
+		1 * GigabitPerSec,
+		10 * GigabitPerSec,
+		25 * GigabitPerSec,
+	}
+}
+
+// BitsPerSecond returns the rate as a plain int64.
+func (b Bandwidth) BitsPerSecond() int64 { return int64(b) }
+
+// BytesPerSecond returns the rate in bytes per second.
+func (b Bandwidth) BytesPerSecond() float64 { return float64(b) / 8 }
+
+// Mbps returns the rate in megabits per second.
+func (b Bandwidth) Mbps() float64 { return float64(b) / float64(MegabitPerSec) }
+
+// Gbps returns the rate in gigabits per second.
+func (b Bandwidth) Gbps() float64 { return float64(b) / float64(GigabitPerSec) }
+
+// String renders the bandwidth with an adaptive unit, e.g. "25Gbps".
+func (b Bandwidth) String() string {
+	switch {
+	case b >= GigabitPerSec && b%GigabitPerSec == 0:
+		return fmt.Sprintf("%dGbps", int64(b/GigabitPerSec))
+	case b >= GigabitPerSec:
+		return fmt.Sprintf("%.2fGbps", b.Gbps())
+	case b >= MegabitPerSec && b%MegabitPerSec == 0:
+		return fmt.Sprintf("%dMbps", int64(b/MegabitPerSec))
+	case b >= MegabitPerSec:
+		return fmt.Sprintf("%.2fMbps", b.Mbps())
+	case b >= KilobitPerSec:
+		return fmt.Sprintf("%dKbps", int64(b/KilobitPerSec))
+	default:
+		return fmt.Sprintf("%dbps", int64(b))
+	}
+}
+
+// ParseBandwidth parses strings like "100Mbps", "25Gbps", "1.5Gbps",
+// "800Kbps" or a raw bits-per-second integer.
+func ParseBandwidth(s string) (Bandwidth, error) {
+	t := strings.TrimSpace(s)
+	lower := strings.ToLower(t)
+	mult := Bandwidth(1)
+	for _, suffix := range []struct {
+		name string
+		m    Bandwidth
+	}{
+		{"gbps", GigabitPerSec}, {"gbit/s", GigabitPerSec}, {"g", GigabitPerSec},
+		{"mbps", MegabitPerSec}, {"mbit/s", MegabitPerSec}, {"m", MegabitPerSec},
+		{"kbps", KilobitPerSec}, {"kbit/s", KilobitPerSec}, {"k", KilobitPerSec},
+		{"bps", 1},
+	} {
+		if strings.HasSuffix(lower, suffix.name) {
+			mult = suffix.m
+			t = t[:len(t)-len(suffix.name)]
+			break
+		}
+	}
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty bandwidth %q", s)
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad bandwidth %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative bandwidth %q", s)
+	}
+	return Bandwidth(v * float64(mult)), nil
+}
+
+// ByteSize is a size in bytes (queue limits, windows, BDPs).
+type ByteSize int64
+
+// Size units.
+const (
+	Byte     ByteSize = 1
+	Kilobyte          = 1000 * Byte
+	Megabyte          = 1000 * Kilobyte
+	Gigabyte          = 1000 * Megabyte
+)
+
+// Bytes returns the size as a plain int64.
+func (s ByteSize) Bytes() int64 { return int64(s) }
+
+// String renders the size with an adaptive unit.
+func (s ByteSize) String() string {
+	switch {
+	case s >= Gigabyte:
+		return fmt.Sprintf("%.2fGB", float64(s)/float64(Gigabyte))
+	case s >= Megabyte:
+		return fmt.Sprintf("%.2fMB", float64(s)/float64(Megabyte))
+	case s >= Kilobyte:
+		return fmt.Sprintf("%.2fKB", float64(s)/float64(Kilobyte))
+	default:
+		return fmt.Sprintf("%dB", int64(s))
+	}
+}
+
+// BDP computes the bandwidth-delay product in bytes for a bottleneck rate
+// and a round-trip time, per eq. 1 of the paper: BDP = BW * RTT / 8.
+func BDP(bw Bandwidth, rtt time.Duration) ByteSize {
+	// bits/sec * sec = bits; /8 = bytes. Use 128-bit-safe ordering: at
+	// 25 Gbps and 62 ms, bw*rtt.Nanoseconds() = 1.55e18, inside int64.
+	bits := float64(bw) * rtt.Seconds()
+	return ByteSize(bits / 8)
+}
+
+// QueueBytes returns mult × BDP rounded up to a whole packet of the given
+// size, and never smaller than one packet: a queue that cannot hold a single
+// packet cannot forward at all. This mirrors how the paper sizes `tc limit`.
+func QueueBytes(bw Bandwidth, rtt time.Duration, mult float64, pktSize ByteSize) ByteSize {
+	if pktSize <= 0 {
+		pktSize = 1
+	}
+	raw := float64(BDP(bw, rtt)) * mult
+	pkts := int64(raw / float64(pktSize))
+	if pkts < 1 {
+		pkts = 1
+	}
+	return ByteSize(pkts) * pktSize
+}
+
+// TransmissionTime returns the serialization delay for size bytes at rate bw.
+func TransmissionTime(size ByteSize, bw Bandwidth) time.Duration {
+	if bw <= 0 {
+		return 0
+	}
+	ns := float64(size) * 8 * 1e9 / float64(bw)
+	return time.Duration(ns)
+}
+
+// RateFromBytes returns the average rate of transferring n bytes in d.
+func RateFromBytes(n ByteSize, d time.Duration) Bandwidth {
+	if d <= 0 {
+		return 0
+	}
+	return Bandwidth(float64(n) * 8 / d.Seconds())
+}

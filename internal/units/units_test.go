@@ -1,0 +1,240 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bandwidth
+		err  bool
+	}{
+		{"100Mbps", 100 * MegabitPerSec, false},
+		{"25Gbps", 25 * GigabitPerSec, false},
+		{"1.5Gbps", Bandwidth(1.5e9), false},
+		{"500mbps", 500 * MegabitPerSec, false},
+		{"800Kbps", 800 * KilobitPerSec, false},
+		{" 10 Gbps ", 10 * GigabitPerSec, false},
+		{"42bps", 42, false},
+		{"9600", 9600, false},
+		{"1g", GigabitPerSec, false},
+		{"", 0, true},
+		{"fast", 0, true},
+		{"-3Mbps", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseBandwidth(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBandwidth(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBandwidth(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	cases := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{100 * MegabitPerSec, "100Mbps"},
+		{25 * GigabitPerSec, "25Gbps"},
+		{Bandwidth(1.5e9), "1.50Gbps"},
+		{800 * KilobitPerSec, "800Kbps"},
+		{42, "42bps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	// Whole-unit bandwidths must survive String -> Parse unchanged.
+	f := func(mbps uint16) bool {
+		b := Bandwidth(mbps%1000) * MegabitPerSec // whole Mbps < 1 Gbps formats exactly
+		got, err := ParseBandwidth(b.String())
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBDPPaperValues(t *testing.T) {
+	// The paper: RTT 62 ms. BDP(100Mbps) = 100e6*0.062/8 = 775000 bytes.
+	rtt := 62 * time.Millisecond
+	cases := []struct {
+		bw   Bandwidth
+		want ByteSize
+	}{
+		{100 * MegabitPerSec, 775_000},
+		{500 * MegabitPerSec, 3_875_000},
+		{1 * GigabitPerSec, 7_750_000},
+		{10 * GigabitPerSec, 77_500_000},
+		{25 * GigabitPerSec, 193_750_000},
+	}
+	for _, c := range cases {
+		if got := BDP(c.bw, rtt); got != c.want {
+			t.Errorf("BDP(%v, 62ms) = %d, want %d", c.bw, got, c.want)
+		}
+	}
+}
+
+func TestQueueBytes(t *testing.T) {
+	rtt := 62 * time.Millisecond
+	pkt := ByteSize(8960)
+	q := QueueBytes(100*MegabitPerSec, rtt, 2, pkt)
+	if q <= 0 || q%pkt != 0 {
+		t.Fatalf("QueueBytes not a packet multiple: %d", q)
+	}
+	want2 := 2 * float64(BDP(100*MegabitPerSec, rtt))
+	if diff := float64(q) - want2; diff > float64(pkt) || diff < -float64(pkt) {
+		t.Errorf("QueueBytes 2BDP off by more than a packet: got %d want ~%.0f", q, want2)
+	}
+	// Tiny multiplier still holds at least one packet.
+	if q := QueueBytes(1*MegabitPerSec, time.Millisecond, 0.001, pkt); q < pkt {
+		t.Errorf("QueueBytes floor: got %d want >= %d", q, pkt)
+	}
+}
+
+func TestQueueBytesMonotoneInMultiplier(t *testing.T) {
+	rtt := 62 * time.Millisecond
+	pkt := ByteSize(8960)
+	f := func(a, b uint8) bool {
+		ma, mb := float64(a)/8, float64(b)/8
+		if ma > mb {
+			ma, mb = mb, ma
+		}
+		qa := QueueBytes(1*GigabitPerSec, rtt, ma, pkt)
+		qb := QueueBytes(1*GigabitPerSec, rtt, mb, pkt)
+		return qa <= qb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	// 8960 bytes at 100 Mbps = 8960*8/1e8 s = 716.8 us.
+	d := TransmissionTime(8960, 100*MegabitPerSec)
+	if want := 716800 * time.Nanosecond; d != want {
+		t.Errorf("TransmissionTime = %v, want %v", d, want)
+	}
+	if TransmissionTime(1000, 0) != 0 {
+		t.Error("zero bandwidth should yield zero duration")
+	}
+}
+
+func TestRateFromBytes(t *testing.T) {
+	got := RateFromBytes(12_500_000, time.Second) // 100 Mbit in 1 s
+	if got != 100*MegabitPerSec {
+		t.Errorf("RateFromBytes = %v, want 100Mbps", got)
+	}
+	if RateFromBytes(100, 0) != 0 {
+		t.Error("zero duration should yield zero rate")
+	}
+}
+
+func TestTransmissionRateInverse(t *testing.T) {
+	// RateFromBytes(TransmissionTime(n, bw)) ~= bw for non-degenerate inputs.
+	f := func(kb uint16) bool {
+		n := ByteSize(kb)*Kilobyte + 1000
+		bw := 1 * GigabitPerSec
+		d := TransmissionTime(n, bw)
+		r := RateFromBytes(n, d)
+		ratio := float64(r) / float64(bw)
+		return ratio > 0.999 && ratio < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{500, "500B"},
+		{1500, "1.50KB"},
+		{2_000_000, "2.00MB"},
+		{3_000_000_000, "3.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPaperBandwidths(t *testing.T) {
+	bws := PaperBandwidths()
+	if len(bws) != 5 {
+		t.Fatalf("want 5 paper bandwidths, got %d", len(bws))
+	}
+	for i := 1; i < len(bws); i++ {
+		if bws[i] <= bws[i-1] {
+			t.Errorf("paper bandwidths not ascending at %d", i)
+		}
+	}
+}
+
+func TestBandwidthStringFractional(t *testing.T) {
+	cases := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{Bandwidth(2.5e6), "2.50Mbps"},
+		{GigabitPerSec + 1, "1.00Gbps"},
+		{KilobitPerSec, "1Kbps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthAccessors(t *testing.T) {
+	b := 100 * MegabitPerSec
+	if b.BitsPerSecond() != 100e6 {
+		t.Error("BitsPerSecond")
+	}
+	if b.BytesPerSecond() != 12.5e6 {
+		t.Error("BytesPerSecond")
+	}
+	if b.Mbps() != 100 || b.Gbps() != 0.1 {
+		t.Error("Mbps/Gbps")
+	}
+	if (2 * Gigabyte).Bytes() != 2e9 {
+		t.Error("ByteSize.Bytes")
+	}
+}
+
+func TestParseBandwidthMoreSuffixes(t *testing.T) {
+	for in, want := range map[string]Bandwidth{
+		"1gbit/s":  GigabitPerSec,
+		"10mbit/s": 10 * MegabitPerSec,
+		"5kbit/s":  5 * KilobitPerSec,
+		"3m":       3 * MegabitPerSec,
+		"7k":       7 * KilobitPerSec,
+	} {
+		got, err := ParseBandwidth(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBandwidth(%q) = %v, %v", in, got, err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package viz renders text plots for the figure tooling: grouped bar
+// charts for per-sender throughput (the Figure 2/4 family), heat-style
+// matrices for fairness indices, and sparklines for time series. Pure
+// string output — every figure the paper prints can be eyeballed in a
+// terminal or pasted into a markdown report.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar renders one horizontal bar of width proportional to value/max,
+// annotated with the value.
+func Bar(value, max float64, width int, label string) string {
+	if width <= 0 {
+		width = 40
+	}
+	n := 0
+	if max > 0 {
+		n = int(math.Round(value / max * float64(width)))
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%-14s |%s%s| %s",
+		truncate(label, 14), strings.Repeat("█", n), strings.Repeat(" ", width-n),
+		fmtVal(value))
+}
+
+// GroupedBars renders a two-series bar chart: for each category, two bars
+// (e.g. sender 1 vs sender 2 throughput per buffer size).
+type GroupedBars struct {
+	Title      string
+	SeriesA    string // e.g. "bbr1"
+	SeriesB    string // e.g. "cubic"
+	Categories []string
+	A, B       []float64
+	Width      int // bar width in cells (default 40)
+	Unit       string
+}
+
+// Render draws the chart.
+func (g *GroupedBars) Render() string {
+	width := g.Width
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range g.A {
+		max = math.Max(max, v)
+	}
+	for _, v := range g.B {
+		max = math.Max(max, v)
+	}
+	var b strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&b, "%s\n", g.Title)
+	}
+	for i, cat := range g.Categories {
+		var va, vb float64
+		if i < len(g.A) {
+			va = g.A[i]
+		}
+		if i < len(g.B) {
+			vb = g.B[i]
+		}
+		fmt.Fprintf(&b, "  %-8s %s %s\n", truncate(cat, 8),
+			Bar(va, max, width, g.SeriesA), g.Unit)
+		fmt.Fprintf(&b, "  %-8s %s %s\n", "", Bar(vb, max, width, g.SeriesB), g.Unit)
+	}
+	return b.String()
+}
+
+// Matrix renders a labelled value grid with a shade character per cell —
+// the Jain-index "heatmap" view of Figures 3/5/6.
+type Matrix struct {
+	Title    string
+	RowNames []string
+	ColNames []string
+	Values   [][]float64 // Values[row][col]; NaN = missing
+	// Lo..Hi maps to the shade ramp; values outside are clamped.
+	Lo, Hi float64
+}
+
+var shades = []rune{'░', '▒', '▓', '█'}
+
+// Render draws the matrix with both shades and numbers.
+func (m *Matrix) Render() string {
+	var b strings.Builder
+	if m.Title != "" {
+		fmt.Fprintf(&b, "%s\n", m.Title)
+	}
+	fmt.Fprintf(&b, "  %-16s", "")
+	for _, c := range m.ColNames {
+		fmt.Fprintf(&b, " %9s", truncate(c, 9))
+	}
+	b.WriteString("\n")
+	for i, r := range m.RowNames {
+		fmt.Fprintf(&b, "  %-16s", truncate(r, 16))
+		for j := range m.ColNames {
+			v := math.NaN()
+			if i < len(m.Values) && j < len(m.Values[i]) {
+				v = m.Values[i][j]
+			}
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, " %9s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %s %.3f", string(m.shade(v)), v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (m *Matrix) shade(v float64) rune {
+	lo, hi := m.Lo, m.Hi
+	if hi <= lo {
+		lo, hi = 0, 1
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	idx := int(t * float64(len(shades)-1))
+	return shades[idx]
+}
+
+// Sparkline renders a compact one-line trend of the series.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		t := 0.0
+		if hi > lo {
+			t = (v - lo) / (hi - lo)
+		}
+		b.WriteRune(ramp[int(t*float64(len(ramp)-1))])
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,161 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarProportions(t *testing.T) {
+	full := Bar(100, 100, 20, "x")
+	if strings.Count(full, "█") != 20 {
+		t.Errorf("full bar: %q", full)
+	}
+	half := Bar(50, 100, 20, "x")
+	if strings.Count(half, "█") != 10 {
+		t.Errorf("half bar: %q", half)
+	}
+	empty := Bar(0, 100, 20, "x")
+	if strings.Count(empty, "█") != 0 {
+		t.Errorf("empty bar: %q", empty)
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	over := Bar(200, 100, 20, "x")
+	if strings.Count(over, "█") != 20 {
+		t.Errorf("overlong bar: %q", over)
+	}
+	neg := Bar(-5, 100, 20, "x")
+	if strings.Count(neg, "█") != 0 {
+		t.Errorf("negative bar: %q", neg)
+	}
+	zeromax := Bar(5, 0, 20, "x")
+	if strings.Count(zeromax, "█") != 0 {
+		t.Errorf("zero-max bar: %q", zeromax)
+	}
+}
+
+func TestBarNeverPanics(t *testing.T) {
+	f := func(v, max float64, w uint8) bool {
+		if math.IsNaN(v) || math.IsNaN(max) {
+			return true
+		}
+		_ = Bar(v, max, int(w%60), "label")
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	g := &GroupedBars{
+		Title:      "throughput",
+		SeriesA:    "bbr1",
+		SeriesB:    "cubic",
+		Categories: []string{"0.5xBDP", "2xBDP"},
+		A:          []float64{60, 10},
+		B:          []float64{30, 85},
+		Width:      30,
+		Unit:       "Mbps",
+	}
+	out := g.Render()
+	if !strings.Contains(out, "throughput") || !strings.Contains(out, "bbr1") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if strings.Count(out, "Mbps") != 4 {
+		t.Fatalf("want 4 bars:\n%s", out)
+	}
+	// Largest value (85) renders the widest bar.
+	lines := strings.Split(out, "\n")
+	maxBlocks, maxLine := 0, ""
+	for _, l := range lines {
+		if n := strings.Count(l, "█"); n > maxBlocks {
+			maxBlocks, maxLine = n, l
+		}
+	}
+	if !strings.Contains(maxLine, "85") {
+		t.Fatalf("widest bar should be 85:\n%s", out)
+	}
+}
+
+func TestGroupedBarsLengthMismatchSafe(t *testing.T) {
+	g := &GroupedBars{
+		Categories: []string{"a", "b", "c"},
+		A:          []float64{1},
+		B:          nil,
+	}
+	if out := g.Render(); out == "" {
+		t.Fatal("render should still produce output")
+	}
+}
+
+func TestMatrixRender(t *testing.T) {
+	m := &Matrix{
+		Title:    "jain",
+		RowNames: []string{"bbr1-vs-cubic", "reno-vs-cubic"},
+		ColNames: []string{"100Mbps", "1Gbps"},
+		Values:   [][]float64{{0.52, 0.61}, {0.99, math.NaN()}},
+		Lo:       0.5, Hi: 1.0,
+	}
+	out := m.Render()
+	if !strings.Contains(out, "0.520") || !strings.Contains(out, "0.990") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("NaN cell should render '-':\n%s", out)
+	}
+	// Shade for 0.99 must be darker than for 0.52.
+	if m.shade(0.99) == m.shade(0.52) {
+		t.Error("shades should differ across the range")
+	}
+}
+
+func TestMatrixShadeClamping(t *testing.T) {
+	m := &Matrix{Lo: 0, Hi: 1}
+	if m.shade(-5) != shades[0] || m.shade(99) != shades[len(shades)-1] {
+		t.Error("out-of-range values must clamp")
+	}
+	degenerate := &Matrix{Lo: 1, Hi: 1} // falls back to [0,1]
+	_ = degenerate.shade(0.5)
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty input")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Fatalf("len = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("ramp endpoints: %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat series should render minimum glyphs: %q", flat)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("short", 10) != "short" {
+		t.Error("no-op truncate")
+	}
+	if got := truncate("averylongname", 8); len(got) > 10 { // ellipsis is 3 bytes
+		t.Errorf("truncate too long: %q", got)
+	}
+	if truncate("ab", 1) != "a" {
+		t.Error("n=1 truncate")
+	}
+}
+
+func TestFmtVal(t *testing.T) {
+	if fmtVal(1234) != "1234" || fmtVal(56.78) != "56.8" || fmtVal(0.123) != "0.123" {
+		t.Errorf("fmtVal: %s %s %s", fmtVal(1234), fmtVal(56.78), fmtVal(0.123))
+	}
+}

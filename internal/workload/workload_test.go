@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestPaperPlanTable2(t *testing.T) {
+	cases := []struct {
+		bw        units.Bandwidth
+		processes int
+		streams   int
+		total     int // paper's "Total #Flows" = 2 nodes × per-node flows
+	}{
+		{100 * units.MegabitPerSec, 1, 1, 2},
+		{500 * units.MegabitPerSec, 5, 1, 10},
+		{1 * units.GigabitPerSec, 10, 1, 20},
+		{10 * units.GigabitPerSec, 10, 10, 200},
+		{25 * units.GigabitPerSec, 25, 10, 500},
+	}
+	for _, c := range cases {
+		p := PaperPlan(c.bw)
+		if p.Processes != c.processes || p.Streams != c.streams {
+			t.Errorf("PaperPlan(%v) = %+v, want %d×%d", c.bw, p, c.processes, c.streams)
+		}
+		if got := 2 * p.FlowsPerNode(); got != c.total {
+			t.Errorf("PaperPlan(%v) total flows = %d, want %d", c.bw, got, c.total)
+		}
+	}
+}
+
+func TestScaledPlanRespectsCap(t *testing.T) {
+	f := func(bwSel uint8, cap8 uint8) bool {
+		bws := units.PaperBandwidths()
+		bw := bws[int(bwSel)%len(bws)]
+		cap := int(cap8%64) + 1
+		p := ScaledPlan(bw, cap)
+		return p.FlowsPerNode() <= cap && p.Processes >= 1 && p.Streams >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledPlanUncapped(t *testing.T) {
+	if got := ScaledPlan(25*units.GigabitPerSec, 0); got != PaperPlan(25*units.GigabitPerSec) {
+		t.Errorf("cap 0 should return the paper plan, got %+v", got)
+	}
+}
+
+func TestStartJitterRange(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		j := StartJitter(rng, 100*time.Millisecond)
+		if j < 0 || j >= 100*time.Millisecond {
+			t.Fatalf("jitter out of range: %v", j)
+		}
+	}
+	if StartJitter(rng, 0) != 0 {
+		t.Error("zero spread should give zero jitter")
+	}
+}
+
+func TestDefaultDuration(t *testing.T) {
+	if d := DefaultDuration(100*units.MegabitPerSec, true); d != PaperDuration {
+		t.Errorf("paper scale duration = %v", d)
+	}
+	if DefaultDuration(25*units.GigabitPerSec, false) >= DefaultDuration(100*units.MegabitPerSec, false) {
+		t.Error("high-BW scaled runs should be shorter")
+	}
+}
+
+func TestDefaultMaxFlows(t *testing.T) {
+	if DefaultMaxFlows(25*units.GigabitPerSec, true) != 0 {
+		t.Error("paper scale must not cap flows")
+	}
+	if DefaultMaxFlows(25*units.GigabitPerSec, false) == 0 {
+		t.Error("scaled 25G should cap flows")
+	}
+	if DefaultMaxFlows(100*units.MegabitPerSec, false) != 0 {
+		t.Error("100M needs no cap")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	s := Plan{Processes: 10, Streams: 10}.String()
+	if s == "" {
+		t.Error("empty plan string")
+	}
+}
