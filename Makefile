@@ -1,0 +1,32 @@
+# CI entry points for the TCP-fairness reproduction.
+#
+#   make ci      — everything below, in order (what a PR must pass)
+#   make vet     — static analysis
+#   make build   — compile all packages and commands
+#   make test    — full suite under the race detector (covers the
+#                  experiment worker pool in internal/experiment/runner.go)
+#   make allocs  — zero-allocation event-core gates; built with !race
+#                  (the race runtime changes the allocation profile)
+#   make bench   — engine micro-benchmarks (0 allocs/op on reuse paths)
+
+GO ?= go
+
+.PHONY: ci vet build test allocs bench
+
+ci: vet build test allocs
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+allocs:
+	$(GO) test -run 'TestAllocGuard' -v .
+	$(GO) test -run xxx -bench 'BenchmarkEngineHandlerChained|BenchmarkTimerReset' -benchmem ./internal/sim/
+
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkTimer' -benchmem ./internal/sim/

@@ -1,0 +1,79 @@
+//go:build !race
+
+// Allocation-regression gates for the zero-allocation event core: a
+// steady-state dumbbell run must stay at or under one heap allocation per
+// forwarded data segment, end to end. The race detector changes the
+// allocation profile, so these tests build only without -race (the Makefile
+// runs them as a separate non-race step).
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+// allocGuardConfig is the guard scenario from the issue: a 2-flow CUBIC
+// dumbbell at 100 Mbps with a 2×BDP FIFO — pure steady-state forwarding.
+func allocGuardConfig() experiment.Config {
+	return experiment.Config{
+		Pairing:    experiment.Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 100 * units.MegabitPerSec,
+		Duration:   2 * time.Second,
+	}
+}
+
+func TestAllocGuardSteadyStateDumbbell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2s of traffic; skipped in -short mode")
+	}
+	cfg := allocGuardConfig()
+
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+
+	// Delivered data segments are a conservative (under-)count of packets
+	// forwarded through the bottleneck: retransmitted and dropped copies
+	// also crossed ports but are excluded from the denominator.
+	goodputBytes := (last.SenderBps[0] + last.SenderBps[1]) * cfg.Duration.Seconds() / 8
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+
+	perPacket := allocs / segments
+	t.Logf("allocs/run = %.0f over %.0f segments → %.3f allocs per forwarded data packet",
+		allocs, segments, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("allocation regression: %.3f allocs per forwarded data packet (budget ≤ 1); "+
+			"every per-packet event must come from the engine pool", perPacket)
+	}
+}
+
+// BenchmarkSteadyStateAllocs reports the same quantity as a benchmark so
+// regressions show up in routine `go test -bench` output.
+func BenchmarkSteadyStateAllocs(b *testing.B) {
+	cfg := allocGuardConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		goodputBytes := (res.SenderBps[0] + res.SenderBps[1]) * cfg.Duration.Seconds() / 8
+		b.ReportMetric(float64(res.Events)/cfg.Duration.Seconds(), "events/simsec")
+		b.ReportMetric(goodputBytes/8900, "segments")
+	}
+}

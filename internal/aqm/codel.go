@@ -54,12 +54,23 @@ func (c *codelState) shouldDrop(sojourn, now sim.Time, backlogBytes int64) bool 
 	return now >= c.firstAboveTime
 }
 
-// dequeue applies the controller to the head packet of q at time now. It
-// returns the packet to transmit (possibly after dropping predecessors) and
-// the number of packets dropped/marked. The caller supplies pop/peek over
-// its own storage so FQ-CoDel can share this logic across flow queues.
-func (c *codelState) dequeue(now sim.Time, pop func() *packet.Packet, backlog func() int64, stats *Stats) *packet.Packet {
-	p := pop()
+// codelSource abstracts the packet storage a CoDel controller drains. The
+// caller passes a stable pointer (its own flow-queue struct), keeping the
+// dequeue hot path free of per-call closure allocations.
+type codelSource interface {
+	// pop removes and returns the head packet, updating the caller's byte
+	// and packet accounting, or returns nil when empty.
+	pop() *packet.Packet
+	// backlog returns the bytes still queued behind the popped packet.
+	backlog() int64
+}
+
+// dequeue applies the controller to the head packet of src at time now. It
+// returns the packet to transmit (possibly after dropping predecessors);
+// drops and marks are counted in stats. The caller supplies its own storage
+// via src so FQ-CoDel can share this logic across flow queues.
+func (c *codelState) dequeue(now sim.Time, src codelSource, stats *Stats) *packet.Packet {
+	p := src.pop()
 	if p == nil {
 		c.dropping = false
 		return nil
@@ -67,7 +78,7 @@ func (c *codelState) dequeue(now sim.Time, pop func() *packet.Packet, backlog fu
 	sojourn := now - p.EnqueueAt
 
 	if c.dropping {
-		if !c.shouldDrop(sojourn, now, backlog()) {
+		if !c.shouldDrop(sojourn, now, src.backlog()) {
 			c.dropping = false
 			return p
 		}
@@ -83,13 +94,13 @@ func (c *codelState) dequeue(now sim.Time, pop func() *packet.Packet, backlog fu
 			stats.DroppedBytes += p.Size
 			packet.Release(p)
 			c.count++
-			p = pop()
+			p = src.pop()
 			if p == nil {
 				c.dropping = false
 				return nil
 			}
 			sojourn = now - p.EnqueueAt
-			if !c.shouldDrop(sojourn, now, backlog()) {
+			if !c.shouldDrop(sojourn, now, src.backlog()) {
 				c.dropping = false
 				return p
 			}
@@ -98,7 +109,7 @@ func (c *codelState) dequeue(now sim.Time, pop func() *packet.Packet, backlog fu
 		return p
 	}
 
-	if c.shouldDrop(sojourn, now, backlog()) {
+	if c.shouldDrop(sojourn, now, src.backlog()) {
 		// Enter the dropping state.
 		if c.p.ECN && (p.ECN == packet.ECT0 || p.ECN == packet.ECT1) {
 			p.ECN = packet.CE
@@ -107,7 +118,7 @@ func (c *codelState) dequeue(now sim.Time, pop func() *packet.Packet, backlog fu
 			stats.Dropped++
 			stats.DroppedBytes += p.Size
 			packet.Release(p)
-			p = pop() // may be nil; transmit the next packet if any
+			p = src.pop() // may be nil; transmit the next packet if any
 		}
 		c.dropping = true
 		// RFC 8289: if we recently left the dropping state, resume a

@@ -32,17 +32,19 @@ func (h *codelHarness) enqueue(now sim.Time, size int64) {
 	_ = size
 }
 
+// pop and backlog implement codelSource over the harness ring.
+func (h *codelHarness) pop() *packet.Packet {
+	p := h.ring.pop()
+	if p != nil {
+		h.bytes -= int64(p.Size)
+	}
+	return p
+}
+
+func (h *codelHarness) backlog() int64 { return h.bytes }
+
 func (h *codelHarness) dequeue(now sim.Time) *packet.Packet {
-	return h.st.dequeue(now,
-		func() *packet.Packet {
-			p := h.ring.pop()
-			if p != nil {
-				h.bytes -= int64(p.Size)
-			}
-			return p
-		},
-		func() int64 { return h.bytes },
-		&h.stats)
+	return h.st.dequeue(now, h, &h.stats)
 }
 
 func TestCoDelDefaults(t *testing.T) {

@@ -33,12 +33,28 @@ type FQCoDel struct {
 }
 
 type flowQueue struct {
+	parent  *FQCoDel // owning discipline, for shared byte/packet accounting
 	ring    pktRing
 	bytes   int64
 	deficit int64
 	codel   codelState
 	state   uint8 // 0 idle, 1 on new list, 2 on old list
 }
+
+// pop implements codelSource: remove the head packet and maintain both the
+// per-flow and the discipline-wide accounting.
+func (fq *flowQueue) pop() *packet.Packet {
+	p := fq.ring.pop()
+	if p != nil {
+		fq.bytes -= int64(p.Size)
+		fq.parent.bytes -= p.Size
+		fq.parent.npkts--
+	}
+	return p
+}
+
+// backlog implements codelSource.
+func (fq *flowQueue) backlog() int64 { return fq.bytes }
 
 const (
 	fqIdle uint8 = iota
@@ -78,6 +94,7 @@ func NewFQCoDel(capacity units.ByteSize, ecn bool, p FQCoDelParams) *FQCoDel {
 		queues: make([]flowQueue, p.Flows),
 	}
 	for i := range q.queues {
+		q.queues[i].parent = q
 		q.queues[i].codel.p = p.CoDel
 	}
 	return q
@@ -182,18 +199,7 @@ func (q *FQCoDel) Dequeue(now sim.Time) *packet.Packet {
 			continue
 		}
 
-		p := fq.codel.dequeue(now,
-			func() *packet.Packet {
-				pp := fq.ring.pop()
-				if pp != nil {
-					fq.bytes -= int64(pp.Size)
-					q.bytes -= pp.Size
-					q.npkts--
-				}
-				return pp
-			},
-			func() int64 { return fq.bytes },
-			&q.stats)
+		p := fq.codel.dequeue(now, fq, &q.stats)
 
 		if p == nil {
 			// Queue drained. A new-list flow moves to the old list (to

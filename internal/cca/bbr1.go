@@ -55,7 +55,7 @@ var bbrPacingGainCycle = [bbrGainCycleLen]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
 type bbr1 struct {
 	state bbrState
 
-	btlBw       *maxFilter // bits/sec, keyed by round count
+	btlBw       maxFilter // bits/sec, keyed by round count (by value: no per-flow heap object)
 	rtProp      time.Duration
 	rtPropStamp sim.Time
 
@@ -83,7 +83,7 @@ type bbr1 struct {
 // NewBBRv1 returns a fresh BBRv1 controller.
 func NewBBRv1() tcp.CongestionControl {
 	return &bbr1{
-		btlBw:      newMaxFilter(bbrBtlBwRounds),
+		btlBw:      maxFilter{window: bbrBtlBwRounds},
 		state:      bbrStartup,
 		pacingGain: bbrHighGain,
 		cwndGain:   bbrHighGain,

@@ -57,7 +57,7 @@ type bbr2 struct {
 	state bbrState
 	phase bbr2Phase
 
-	btlBw       *maxFilter
+	btlBw       maxFilter // by value: no per-flow heap object
 	rtProp      time.Duration
 	rtPropStamp sim.Time
 
@@ -94,7 +94,7 @@ type bbr2 struct {
 // NewBBRv2 returns a fresh BBRv2 controller.
 func NewBBRv2() tcp.CongestionControl {
 	return &bbr2{
-		btlBw:      newMaxFilter(bbrBtlBwRounds),
+		btlBw:      maxFilter{window: bbrBtlBwRounds},
 		state:      bbrStartup,
 		pacingGain: bbr2StartupGain,
 		cwndGain:   bbr2StartupGain,

@@ -38,6 +38,7 @@ type Sampler struct {
 	interval time.Duration
 	probes   []probe
 	stopped  bool
+	timer    sim.Timer // persistent tick timer (no per-interval allocation)
 }
 
 type probe struct {
@@ -51,7 +52,9 @@ func NewSampler(eng *sim.Engine, interval time.Duration) *Sampler {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	return &Sampler{eng: eng, interval: interval}
+	sa := &Sampler{eng: eng, interval: interval}
+	sa.timer.Init(eng, sa, nil)
+	return sa
 }
 
 // Track registers a byte counter (e.g. a receiver's goodput) under name and
@@ -64,13 +67,17 @@ func (sa *Sampler) Track(name string, read func() int64) *Series {
 
 // Start schedules periodic sampling until Stop or the engine stops running.
 func (sa *Sampler) Start() {
-	sa.eng.Schedule(sa.interval, sa.tick)
+	sa.timer.Reset(sa.interval)
 }
 
 // Stop ends sampling.
-func (sa *Sampler) Stop() { sa.stopped = true }
+func (sa *Sampler) Stop() {
+	sa.stopped = true
+	sa.timer.Stop()
+}
 
-func (sa *Sampler) tick() {
+// OnEvent implements sim.Handler: take one sample and rearm the tick.
+func (sa *Sampler) OnEvent(any) {
 	if sa.stopped {
 		return
 	}
@@ -82,5 +89,5 @@ func (sa *Sampler) tick() {
 		p.last = cur
 		p.series.Samples = append(p.series.Samples, Sample{At: now, Rate: rate})
 	}
-	sa.eng.Schedule(sa.interval, sa.tick)
+	sa.timer.Reset(sa.interval)
 }

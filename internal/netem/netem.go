@@ -39,6 +39,13 @@ type Port struct {
 	dst   Receiver
 	busy  bool
 
+	// Handler adapters for the two per-packet events (serialization done,
+	// propagation delivery). Stable addresses inside the Port let the
+	// engine's pooled-event path run without a closure or Event allocation
+	// per packet.
+	txDoneH  portTxDone
+	deliverH portDeliver
+
 	// Fault injection (the paper's "network anomalies" future work):
 	// lossRate drops transmitted packets at random; jitter adds a uniform
 	// extra delay in [0, jitter) per packet.
@@ -79,7 +86,10 @@ func NewPort(eng *sim.Engine, name string, rate units.Bandwidth, delay time.Dura
 	if queue == nil {
 		queue = aqm.NewFIFO(1 << 40) // effectively unbuffered-loss-free
 	}
-	return &Port{Name: name, eng: eng, rate: rate, delay: delay, queue: queue, dst: dst}
+	po := &Port{Name: name, eng: eng, rate: rate, delay: delay, queue: queue, dst: dst}
+	po.txDoneH.po = po
+	po.deliverH.po = po
+	return po
 }
 
 // Queue exposes the port's queue (for telemetry and tests).
@@ -163,29 +173,46 @@ func (po *Port) transmitNext() {
 		}
 	}
 	txTime := units.TransmissionTime(p.Size, po.rate)
-	po.eng.Schedule(txTime, func() {
-		po.txPackets++
-		po.txBytes += p.Size
-		dst := po.dst
-		switch {
-		case dst == nil:
-			packet.Release(p)
-		case po.lossRate > 0 && po.rng.Float64() < po.lossRate:
-			po.lossDrops++
-			packet.Release(p)
-		default:
-			delay := po.delay
-			if po.jitter > 0 {
-				delay += time.Duration(po.rng.Jitter(float64(po.jitter)))
-			}
-			if delay > 0 {
-				po.eng.Schedule(delay, func() { dst.Receive(po.eng.Now(), p) })
-			} else {
-				dst.Receive(po.eng.Now(), p)
-			}
+	po.eng.ScheduleHandler(txTime, &po.txDoneH, p)
+}
+
+// portTxDone fires when the last bit of a packet leaves the serializer.
+type portTxDone struct{ po *Port }
+
+// OnEvent implements sim.Handler; arg is the transmitted *packet.Packet.
+func (h *portTxDone) OnEvent(arg any) {
+	po := h.po
+	p := arg.(*packet.Packet)
+	po.txPackets++
+	po.txBytes += p.Size
+	switch {
+	case po.dst == nil:
+		packet.Release(p)
+	case po.lossRate > 0 && po.rng.Float64() < po.lossRate:
+		po.lossDrops++
+		packet.Release(p)
+	default:
+		delay := po.delay
+		if po.jitter > 0 {
+			delay += time.Duration(po.rng.Jitter(float64(po.jitter)))
 		}
-		po.transmitNext()
-	})
+		if delay > 0 {
+			po.eng.ScheduleHandler(delay, &po.deliverH, p)
+		} else {
+			po.dst.Receive(po.eng.Now(), p)
+		}
+	}
+	po.transmitNext()
+}
+
+// portDeliver fires when a packet's propagation delay elapses.
+type portDeliver struct{ po *Port }
+
+// OnEvent implements sim.Handler; arg is the delivered *packet.Packet.
+func (h *portDeliver) OnEvent(arg any) {
+	po := h.po
+	p := arg.(*packet.Packet)
+	po.dst.Receive(po.eng.Now(), p)
 }
 
 // Path is a convenience wrapper: a sequence of ports ending at an endpoint.

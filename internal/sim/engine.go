@@ -6,6 +6,33 @@
 // One Engine is owned by exactly one goroutine; parallelism in the harness
 // comes from running many independent engines concurrently, never from
 // sharing one.
+//
+// # Event ownership and pooling
+//
+// The engine offers three scheduling surfaces with different ownership
+// rules, chosen so the steady-state forwarding path performs zero heap
+// allocations per event:
+//
+//   - Schedule/ScheduleAt (closure API): the returned *Event is owned by
+//     the caller, is never recycled, and stays valid forever — Cancel and
+//     Pending are safe at any point, including after the event has fired.
+//     Use this for setup-time and low-rate work.
+//
+//   - ScheduleHandler/ScheduleHandlerAt (handler API): the event object is
+//     owned by the engine, drawn from a per-engine free list, and returned
+//     to it as soon as the event fires. No handle is exposed, so these
+//     events cannot be cancelled; they are the right tool for fire-and-
+//     forget per-packet work (serialization done, propagation delivery).
+//
+//   - Timer: a caller-owned, reusable timer for recurring deadlines (RTO,
+//     pacing release, delayed ACK, samplers). Its event storage is embedded
+//     in the Timer itself, so Reset/Stop never allocate: Reset reschedules
+//     in place via heap.Fix when the timer is already queued. A Timer must
+//     not be copied after Init (the heap holds a pointer into it).
+//
+// Cancelling (Event.Cancel, Timer.Stop) removes the entry from the heap
+// eagerly, so long runs that repeatedly rearm timers do not accumulate
+// dead entries.
 package sim
 
 import (
@@ -29,28 +56,61 @@ func (t Time) Std() time.Duration { return time.Duration(t) }
 // String formats the time as seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-// Event is a scheduled callback. Run executes at the event's deadline.
+// Handler receives dispatched events without a per-event closure. One
+// handler instance typically serves many events, distinguished by arg
+// (a packet, a small integer timer id, or nil).
+type Handler interface {
+	OnEvent(arg any)
+}
+
+// HandlerFunc adapts a function to the Handler interface. Func values are
+// pointer-shaped, so the interface conversion itself does not allocate —
+// but unlike a method on a long-lived struct, a new closure does, so hot
+// paths should prefer struct handlers created once.
+type HandlerFunc func(arg any)
+
+// OnEvent implements Handler.
+func (f HandlerFunc) OnEvent(arg any) { f(arg) }
+
+// Event is a scheduled callback. It fires either a closure (Schedule) or a
+// Handler (ScheduleHandler/Timer) at its deadline.
 type Event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among same-time events
-	fn   func()
-	dead bool
-	idx  int // heap index, -1 when not queued
+	at  Time
+	seq uint64 // tie-break: FIFO among same-time events
+	idx int    // heap index, -1 when not queued
+
+	fn  func() // closure dispatch (nil for handler events)
+	h   Handler
+	arg any
+
+	eng    *Engine // owner, for eager heap removal on Cancel
+	pooled bool    // engine-owned: recycled into the free list after firing
 }
 
-// Cancel prevents a pending event from running. Safe to call multiple times
-// and after the event has fired (then it is a no-op).
+// Cancel removes a pending event from the queue so it will not run. Safe to
+// call multiple times and after the event has fired (then it is a no-op).
+// Only valid for caller-owned events (Schedule/ScheduleAt).
 func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+	if e == nil || e.idx < 0 {
+		return
 	}
+	heap.Remove(&e.eng.queue, e.idx)
 }
 
-// Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.idx >= 0 }
 
 // At returns the scheduled time of the event.
 func (e *Event) At() Time { return e.at }
+
+// fire dispatches the event's callback.
+func (e *Event) fire() {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.h.OnEvent(e.arg)
+}
 
 type eventHeap []*Event
 
@@ -89,6 +149,9 @@ type Engine struct {
 	stopped bool
 	rng     *RNG
 
+	// free is the pool of engine-owned events for the handler path.
+	free []*Event
+
 	// Stats.
 	executed uint64
 }
@@ -108,11 +171,16 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // Executed returns the number of events run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of queued (possibly cancelled) events.
+// Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// FreeEvents returns the size of the pooled-event free list (telemetry and
+// pool-reuse tests).
+func (e *Engine) FreeEvents() int { return len(e.free) }
+
 // Schedule queues fn to run after delay. A negative delay is clamped to zero
-// (runs at the current time, after already-queued same-time events).
+// (runs at the current time, after already-queued same-time events). The
+// returned Event is caller-owned and never recycled.
 func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
@@ -127,9 +195,49 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 		at = e.now
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1}
+	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1, eng: e}
 	heap.Push(&e.queue, ev)
 	return ev
+}
+
+// ScheduleHandler queues h.OnEvent(arg) to run after delay using a pooled,
+// engine-owned event: the hot path allocates nothing once the pool has
+// warmed up. The event cannot be cancelled (no handle is returned); use a
+// Timer for cancellable or recurring work.
+func (e *Engine) ScheduleHandler(delay time.Duration, h Handler, arg any) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleHandlerAt(e.now+Duration(delay), h, arg)
+}
+
+// ScheduleHandlerAt is ScheduleHandler with an absolute deadline. Times in
+// the past are clamped to now.
+func (e *Engine) ScheduleHandlerAt(at Time, h Handler, arg any) {
+	if at < e.now {
+		at = e.now
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{eng: e}
+	}
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	ev.h = h
+	ev.arg = arg
+	ev.pooled = true
+	heap.Push(&e.queue, ev)
+}
+
+// release zeroes a pooled event and returns it to the free list.
+func (e *Engine) release(ev *Event) {
+	*ev = Event{eng: e, idx: -1}
+	e.free = append(e.free, ev)
 }
 
 // Stop halts the run loop after the current event returns.
@@ -140,9 +248,13 @@ func (e *Engine) Run() {
 	e.RunUntil(Time(1<<63 - 1))
 }
 
-// RunUntil executes events with deadlines <= end, advancing the clock to end
-// (or to the last event, whichever is later is not: clock finishes at end if
-// events ran out earlier).
+// RunUntil executes, in deadline order, every queued event whose deadline is
+// <= end (including events those callbacks schedule, as long as they also
+// fall within end), then leaves the clock at exactly end. If the queue
+// drains early, the clock still advances to end; it never moves past it, so
+// later events stay queued for a subsequent Run/RunUntil call. The one
+// exception is the sentinel end used by Run (the maximum Time), which
+// leaves the clock at the last executed event.
 func (e *Engine) RunUntil(end Time) {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
@@ -151,12 +263,12 @@ func (e *Engine) RunUntil(end Time) {
 			break
 		}
 		heap.Pop(&e.queue)
-		if next.dead {
-			continue
-		}
 		e.now = next.at
 		e.executed++
-		next.fn()
+		next.fire()
+		if next.pooled {
+			e.release(next)
+		}
 	}
 	if e.now < end && end < Time(1<<63-1) {
 		e.now = end
@@ -167,3 +279,61 @@ func (e *Engine) RunUntil(end Time) {
 func (e *Engine) RunFor(d time.Duration) {
 	e.RunUntil(e.now + Duration(d))
 }
+
+// Timer is a reusable, caller-owned timer dispatching to a Handler. The
+// zero value is unusable; call Init once, then Reset/Stop freely — neither
+// allocates. A Timer must not be copied after Init.
+type Timer struct {
+	ev Event
+}
+
+// Init binds the timer to an engine and its dispatch target. arg is passed
+// to h.OnEvent on every expiry (commonly a small integer distinguishing the
+// owner's timers). Init must be called exactly once, before any Reset.
+func (t *Timer) Init(eng *Engine, h Handler, arg any) {
+	t.ev = Event{eng: eng, idx: -1, h: h, arg: arg}
+}
+
+// Reset (re)schedules the timer to fire after delay, replacing any pending
+// deadline. A reset timer behaves like a freshly scheduled event for
+// same-deadline FIFO ordering: it runs after events already queued at that
+// time. Negative delays are clamped to zero.
+func (t *Timer) Reset(delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	t.ResetAt(t.ev.eng.now + Duration(delay))
+}
+
+// ResetAt is Reset with an absolute deadline. Times in the past are clamped
+// to now. When the timer is already queued it is rescheduled in place via
+// heap.Fix — no allocation, no dead entry left behind.
+func (t *Timer) ResetAt(at Time) {
+	eng := t.ev.eng
+	if at < eng.now {
+		at = eng.now
+	}
+	eng.seq++
+	t.ev.at = at
+	t.ev.seq = eng.seq
+	if t.ev.idx >= 0 {
+		heap.Fix(&eng.queue, t.ev.idx)
+		return
+	}
+	heap.Push(&eng.queue, &t.ev)
+}
+
+// Stop removes the timer from the queue if pending (eagerly — no dead entry
+// remains in the heap). Safe to call on a never-armed or already-fired
+// timer.
+func (t *Timer) Stop() {
+	if t.ev.idx >= 0 {
+		heap.Remove(&t.ev.eng.queue, t.ev.idx)
+	}
+}
+
+// Pending reports whether the timer is queued.
+func (t *Timer) Pending() bool { return t.ev.idx >= 0 }
+
+// At returns the timer's current (or last) deadline.
+func (t *Timer) At() Time { return t.ev.at }

@@ -321,3 +321,238 @@ func TestRNGJitterBounds(t *testing.T) {
 		t.Error("non-positive mean should yield 0")
 	}
 }
+
+// --- pooled events, Timer, and the closure-free handler path ---
+
+// countHandler records dispatched args.
+type countHandler struct {
+	args []any
+	eng  *Engine
+}
+
+func (h *countHandler) OnEvent(arg any) { h.args = append(h.args, arg) }
+
+func TestScheduleHandlerDispatch(t *testing.T) {
+	e := NewEngine(1)
+	h := &countHandler{}
+	e.ScheduleHandler(2*time.Millisecond, h, "b")
+	e.ScheduleHandler(time.Millisecond, h, "a")
+	e.Run()
+	if len(h.args) != 2 || h.args[0] != "a" || h.args[1] != "b" {
+		t.Fatalf("handler dispatch wrong: %v", h.args)
+	}
+}
+
+func TestPooledEventsReused(t *testing.T) {
+	e := NewEngine(1)
+	h := &countHandler{}
+	for i := 0; i < 8; i++ {
+		e.ScheduleHandler(time.Duration(i)*time.Millisecond, h, i)
+	}
+	e.Run()
+	if e.FreeEvents() == 0 {
+		t.Fatal("fired pooled events were not returned to the free list")
+	}
+	free := e.FreeEvents()
+	// Re-scheduling the same number of events must not grow the pool.
+	for i := 0; i < free; i++ {
+		e.ScheduleHandler(time.Millisecond, h, i)
+	}
+	if e.FreeEvents() != 0 {
+		t.Fatalf("pool not drained on reschedule: %d left", e.FreeEvents())
+	}
+	e.Run()
+	if e.FreeEvents() != free {
+		t.Fatalf("pool grew across reuse: %d -> %d", free, e.FreeEvents())
+	}
+}
+
+// TestPooledEventZeroedOnReuse mirrors packet_test.TestPoolReuseZeroes: any
+// event the engine recycles must carry no state from its previous life —
+// in particular no Handler or arg reference that would pin garbage.
+func TestPooledEventZeroedOnReuse(t *testing.T) {
+	f := func(delays []uint16, args []int64) bool {
+		e := NewEngine(3)
+		h := &countHandler{}
+		for i, d := range delays {
+			var arg any
+			if len(args) > 0 {
+				arg = args[i%len(args)]
+			}
+			e.ScheduleHandler(time.Duration(d)*time.Microsecond, h, arg)
+		}
+		e.Run()
+		for _, ev := range e.free {
+			if ev.at != 0 || ev.seq != 0 || ev.fn != nil || ev.h != nil ||
+				ev.arg != nil || ev.pooled || ev.idx != -1 || ev.eng != e {
+				return false
+			}
+		}
+		return len(h.args) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCancelRemovesFromHeapEagerly(t *testing.T) {
+	e := NewEngine(1)
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	for _, ev := range evs[10:] {
+		ev.Cancel()
+	}
+	// The old engine left cancelled events queued until popped; the heap
+	// must now shrink immediately, or long runs rearming RTO timers leak.
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d after cancelling 90 of 100, want 10", e.Pending())
+	}
+	ran := 0
+	e.Schedule(200*time.Millisecond, func() { ran++ })
+	e.Run()
+	if ran != 1 || e.Executed() != 11 {
+		t.Fatalf("executed %d events (ran=%d), want 11", e.Executed(), ran)
+	}
+}
+
+func TestTimerBasics(t *testing.T) {
+	e := NewEngine(1)
+	h := &countHandler{}
+	var tm Timer
+	tm.Init(e, h, 42)
+	if tm.Pending() {
+		t.Fatal("fresh timer pending")
+	}
+	tm.Reset(5 * time.Millisecond)
+	if !tm.Pending() || tm.At() != Duration(5*time.Millisecond) {
+		t.Fatalf("armed timer: pending=%v at=%v", tm.Pending(), tm.At())
+	}
+	e.Run()
+	if len(h.args) != 1 || h.args[0] != 42 || tm.Pending() {
+		t.Fatalf("timer fire: args=%v pending=%v", h.args, tm.Pending())
+	}
+	// Reuse after firing.
+	tm.Reset(time.Millisecond)
+	e.Run()
+	if len(h.args) != 2 {
+		t.Fatalf("timer not reusable: fired %d times", len(h.args))
+	}
+}
+
+func TestTimerResetReschedulesInPlace(t *testing.T) {
+	e := NewEngine(1)
+	h := &countHandler{}
+	var tm Timer
+	tm.Init(e, h, nil)
+	tm.Reset(10 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		tm.Reset(time.Duration(20+i) * time.Millisecond)
+		if e.Pending() != 1 {
+			t.Fatalf("Reset pushed a duplicate entry: Pending=%d", e.Pending())
+		}
+	}
+	tm.Reset(time.Millisecond) // move earlier, too
+	e.Run()
+	if len(h.args) != 1 || e.Now() != Duration(time.Millisecond) {
+		t.Fatalf("reset timer fired %d times at %v", len(h.args), e.Now())
+	}
+}
+
+// TestTimerResetFIFOTieBreak: a Reset counts as a fresh schedule for the
+// same-deadline FIFO ordering — it must run after events already queued at
+// that deadline, even if the timer was first armed before them.
+func TestTimerResetFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	rec := HandlerFunc(func(arg any) { order = append(order, arg.(string)) })
+	var tm Timer
+	tm.Init(e, rec, "timer")
+	tm.Reset(time.Millisecond) // armed first...
+	e.Schedule(5*time.Millisecond, func() { order = append(order, "closure") })
+	tm.Reset(5 * time.Millisecond) // ...but reset to the same deadline later
+	e.Run()
+	if len(order) != 2 || order[0] != "closure" || order[1] != "timer" {
+		t.Fatalf("reset timer must follow same-deadline FIFO: %v", order)
+	}
+}
+
+func TestTimerStopThenResetInCallback(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	rec := HandlerFunc(func(any) { fired = append(fired, e.Now()) })
+	var tm Timer
+	tm.Init(e, rec, nil)
+	tm.Reset(10 * time.Millisecond)
+	e.Schedule(time.Millisecond, func() {
+		// Cancel-then-Reset inside one callback must land exactly one fire
+		// at the final deadline.
+		tm.Stop()
+		tm.Reset(3 * time.Millisecond)
+		tm.Stop()
+		tm.Reset(4 * time.Millisecond)
+	})
+	e.Run()
+	if len(fired) != 1 || fired[0] != Duration(5*time.Millisecond) {
+		t.Fatalf("want one fire at 5ms, got %v", fired)
+	}
+	// And Reset-then-Stop must land none.
+	fired = nil
+	tm.Reset(time.Millisecond)
+	tm.Stop()
+	e.Run()
+	if len(fired) != 0 {
+		t.Fatalf("stopped timer fired: %v", fired)
+	}
+}
+
+func TestTimerSelfRearmInOwnCallback(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tm Timer
+	rec := HandlerFunc(func(any) {
+		n++
+		if n < 5 {
+			tm.Reset(time.Second)
+		}
+	})
+	tm.Init(e, rec, nil)
+	tm.Reset(time.Second)
+	e.Run()
+	if n != 5 || e.Now() != Duration(5*time.Second) {
+		t.Fatalf("self-rearming timer: n=%d now=%v", n, e.Now())
+	}
+}
+
+func BenchmarkEngineHandlerChained(b *testing.B) {
+	// The forwarding-plane pattern after the zero-alloc refactor: each
+	// pooled handler event schedules the next. Must report 0 allocs/op.
+	e := NewEngine(1)
+	n := 0
+	var h HandlerFunc
+	h = func(any) {
+		n++
+		if n < b.N {
+			e.ScheduleHandler(time.Microsecond, h, nil)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.ScheduleHandler(time.Microsecond, h, nil)
+	e.Run()
+}
+
+func BenchmarkTimerReset(b *testing.B) {
+	// RTO-style rearming: Reset while pending reschedules in place via
+	// heap.Fix. Must report 0 allocs/op.
+	e := NewEngine(1)
+	var tm Timer
+	tm.Init(e, HandlerFunc(func(any) {}), nil)
+	tm.Reset(time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(time.Duration(i%1000) * time.Microsecond)
+	}
+}

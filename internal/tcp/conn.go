@@ -44,6 +44,7 @@ type seg struct {
 	sentCount  int
 	lost       bool // marked lost, awaiting retransmission
 	sacked     bool // delivered out of order (selectively acknowledged)
+	inRtxQ     bool // referenced by rtxQ; must not be recycled while set
 }
 
 // Stats is a snapshot of a connection's counters.
@@ -70,10 +71,11 @@ type Conn struct {
 	done func(*Conn)          // optional completion callback
 
 	// Sender sequence state.
-	sndUna int64
-	sndNxt int64
-	segs   segDeque
-	rtxQ   []*seg
+	sndUna  int64
+	sndNxt  int64
+	segs    segDeque
+	rtxQ    []*seg
+	segFree []*seg // recycled seg records (zero-alloc steady state)
 
 	// Windows. cwnd and ssthresh are in bytes.
 	cwnd       int64
@@ -83,7 +85,7 @@ type Conn struct {
 
 	// Pacing.
 	nextSendAt sim.Time
-	paceTimer  *sim.Event
+	paceTimer  sim.Timer
 
 	// Recovery episode state.
 	inRecovery bool
@@ -91,7 +93,7 @@ type Conn struct {
 
 	// RTT/RTO.
 	rtt      rttEstimator
-	rtoTimer *sim.Event
+	rtoTimer sim.Timer
 
 	// Delivery-rate sampling (BBR draft).
 	delivered     int64
@@ -122,8 +124,28 @@ func NewConn(eng *sim.Engine, id packet.FlowID, cfg Config, cc CongestionControl
 		rtt:      newRTTEstimator(),
 	}
 	c.cwnd = int64(cfg.InitialCwnd) * int64(cfg.MSS)
+	c.rtoTimer.Init(eng, c, timerRTO)
+	c.paceTimer.Init(eng, c, timerPace)
 	cc.Init(c)
 	return c
+}
+
+// timerID distinguishes the connection's persistent timers in OnEvent.
+type timerID uint8
+
+const (
+	timerRTO timerID = iota
+	timerPace
+)
+
+// OnEvent implements sim.Handler, dispatching the connection's timers.
+func (c *Conn) OnEvent(arg any) {
+	switch arg.(timerID) {
+	case timerRTO:
+		c.onRTO()
+	case timerPace:
+		c.trySend()
+	}
 }
 
 // --- accessors used by congestion controllers and telemetry ---
@@ -219,12 +241,8 @@ func (c *Conn) Start() {
 // Stop freezes the sender (no new transmissions, timers cancelled).
 func (c *Conn) Stop() {
 	c.stopped = true
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
-	if c.paceTimer != nil {
-		c.paceTimer.Cancel()
-	}
+	c.rtoTimer.Stop()
+	c.paceTimer.Stop()
 }
 
 // OnDone registers a callback invoked when LimitBytes are fully acked.
@@ -260,6 +278,7 @@ func (c *Conn) trySend() {
 				rtx = s
 				break
 			}
+			s.inRtxQ = false
 			c.rtxQ = c.rtxQ[1:]
 		}
 		var segLen int64
@@ -288,11 +307,12 @@ func (c *Conn) trySend() {
 		}
 
 		if rtx != nil {
+			rtx.inRtxQ = false
 			c.rtxQ = c.rtxQ[1:]
 			rtx.lost = false
 			c.transmit(rtx)
 		} else {
-			s := &seg{seq: c.sndNxt, len: segLen}
+			s := c.newSeg(c.sndNxt, segLen)
 			c.sndNxt += segLen
 			c.segs.push(s)
 			c.transmit(s)
@@ -300,13 +320,35 @@ func (c *Conn) trySend() {
 	}
 }
 
-// armPacing schedules the pacing release timer.
-func (c *Conn) armPacing() {
-	if c.paceTimer != nil && c.paceTimer.Pending() {
+// newSeg fetches a zeroed seg record from the connection's free list (or
+// allocates when the list is empty) — steady state runs allocation-free.
+func (c *Conn) newSeg(seq, length int64) *seg {
+	if n := len(c.segFree); n > 0 {
+		s := c.segFree[n-1]
+		c.segFree[n-1] = nil
+		c.segFree = c.segFree[:n-1]
+		*s = seg{seq: seq, len: length}
+		return s
+	}
+	return &seg{seq: seq, len: length}
+}
+
+// freeSeg recycles a fully-acknowledged seg. Segments still referenced by
+// the retransmission queue are left for the garbage collector instead
+// (recycling them would let a stale rtxQ entry alias a new segment).
+func (c *Conn) freeSeg(s *seg) {
+	if s.inRtxQ {
 		return
 	}
-	delay := (c.nextSendAt - c.eng.Now()).Std()
-	c.paceTimer = c.eng.Schedule(delay, func() { c.trySend() })
+	c.segFree = append(c.segFree, s)
+}
+
+// armPacing schedules the pacing release timer.
+func (c *Conn) armPacing() {
+	if c.paceTimer.Pending() {
+		return
+	}
+	c.paceTimer.ResetAt(c.nextSendAt)
 }
 
 // transmit puts one segment on the wire.
@@ -412,7 +454,7 @@ func (c *Conn) Receive(now sim.Time, p *packet.Packet) {
 				c.delivered += s.len
 				c.deliveredTime = now
 			}
-			c.segs.pop()
+			c.freeSeg(c.segs.pop())
 		}
 	}
 
@@ -493,9 +535,7 @@ func (c *Conn) Receive(now sim.Time, p *packet.Packet) {
 	// ACK while data is outstanding — mirroring Linux's rearm on SACK
 	// progress. A true blackhole produces no ACKs and still times out.
 	if c.segs.len() == 0 && len(c.rtxQ) == 0 {
-		if c.rtoTimer != nil {
-			c.rtoTimer.Cancel()
-		}
+		c.rtoTimer.Stop()
 	} else {
 		c.rearmRTO()
 	}
@@ -522,6 +562,7 @@ func (c *Conn) markLost(trigSentAt sim.Time) int64 {
 		}
 		if s.lastSentAt < trigSentAt {
 			s.lost = true
+			s.inRtxQ = true
 			c.inflight -= s.len
 			lost += s.len
 			c.rtxQ = append(c.rtxQ, s)
@@ -535,17 +576,14 @@ func (c *Conn) markLost(trigSentAt sim.Time) int64 {
 // --- RTO ---
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil && c.rtoTimer.Pending() {
+	if c.rtoTimer.Pending() {
 		return
 	}
-	c.rtoTimer = c.eng.Schedule(c.rtt.rto, c.onRTO)
+	c.rtoTimer.Reset(c.rtt.rto)
 }
 
 func (c *Conn) rearmRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
-	c.rtoTimer = c.eng.Schedule(c.rtt.rto, c.onRTO)
+	c.rtoTimer.Reset(c.rtt.rto)
 }
 
 // onRTO handles retransmission-timer expiry: exponential backoff, mark all
@@ -569,12 +607,14 @@ func (c *Conn) onRTO() {
 	for i := 0; i < c.segs.len(); i++ {
 		s := c.segs.at(i)
 		if s.sacked {
-			continue // already delivered; nothing to resend
+			s.inRtxQ = false // no longer referenced by the emptied rtxQ
+			continue         // already delivered; nothing to resend
 		}
 		if !s.lost {
 			s.lost = true
 			c.inflight -= s.len
 		}
+		s.inRtxQ = true
 		c.rtxQ = append(c.rtxQ, s)
 	}
 	c.inflight = 0

@@ -25,10 +25,13 @@ type Receiver struct {
 	bytesIn     int64 // all payload bytes that arrived (incl. duplicates)
 	dupSegments uint64
 
-	// Delayed-ACK state.
+	// Delayed-ACK state. pendingAck is held by value (valid when
+	// hasPending) so holding an ACK allocates nothing, and delTimer is a
+	// persistent reusable timer.
 	delayAck   bool
-	pendingAck *pendingEcho
-	delTimer   *sim.Event
+	pendingAck pendingEcho
+	hasPending bool
+	delTimer   sim.Timer
 	acksSent   uint64
 }
 
@@ -52,12 +55,24 @@ func NewReceiver(eng *sim.Engine, id packet.FlowID, header units.ByteSize, injec
 	if header <= 0 {
 		header = 60
 	}
-	return &Receiver{
+	r := &Receiver{
 		eng:    eng,
 		flow:   id,
 		hdr:    header,
 		inject: inject,
 		ooo:    make(map[int64]int64),
+	}
+	r.delTimer.Init(eng, r, nil)
+	return r
+}
+
+// OnEvent implements sim.Handler: the delayed-ACK timer expired, so flush
+// the held acknowledgement.
+func (r *Receiver) OnEvent(any) {
+	if r.hasPending {
+		e := r.pendingAck
+		r.hasPending = false
+		r.sendAck(e)
 	}
 }
 
@@ -126,35 +141,25 @@ func (r *Receiver) Receive(now sim.Time, p *packet.Packet) {
 	if !r.delayAck || !inOrder || echo.echoCE {
 		// Immediate ACK: per-packet mode, out-of-order arrival (dupack for
 		// fast loss detection), or a CE echo the sender must see promptly.
-		if r.pendingAck != nil {
-			r.pendingAck = nil
-			if r.delTimer != nil {
-				r.delTimer.Cancel()
-			}
+		if r.hasPending {
+			r.hasPending = false
+			r.delTimer.Stop()
 		}
 		r.sendAck(echo)
 		return
 	}
 
-	if r.pendingAck != nil {
+	if r.hasPending {
 		// Second in-order segment: ACK now, covering both.
-		r.pendingAck = nil
-		if r.delTimer != nil {
-			r.delTimer.Cancel()
-		}
+		r.hasPending = false
+		r.delTimer.Stop()
 		r.sendAck(echo)
 		return
 	}
 	// First in-order segment: hold and arm the delayed-ACK timer.
-	held := echo
-	r.pendingAck = &held
-	r.delTimer = r.eng.Schedule(delAckTimeout, func() {
-		if r.pendingAck != nil {
-			e := *r.pendingAck
-			r.pendingAck = nil
-			r.sendAck(e)
-		}
-	})
+	r.pendingAck = echo
+	r.hasPending = true
+	r.delTimer.Reset(delAckTimeout)
 }
 
 // sendAck emits a cumulative ACK carrying the given echo fields.
