@@ -1,19 +1,23 @@
 # CI entry points for the TCP-fairness reproduction.
 #
-#   make ci      — everything below, in order (what a PR must pass)
-#   make vet     — static analysis
-#   make build   — compile all packages and commands
-#   make test    — full suite under the race detector (covers the
-#                  experiment worker pool in internal/experiment/runner.go)
-#   make allocs  — zero-allocation event-core gates; built with !race
-#                  (the race runtime changes the allocation profile)
-#   make bench   — engine micro-benchmarks (0 allocs/op on reuse paths)
+#   make ci         — everything below, in order (what a PR must pass)
+#   make vet        — static analysis
+#   make build      — compile all packages and commands
+#   make test       — full suite under the race detector (covers the
+#                     experiment worker pool in internal/experiment/runner.go)
+#   make allocs     — zero-allocation event-core gates; built with !race
+#                     (the race runtime changes the allocation profile)
+#   make resilience — fault-injection shape suite: flap recovery, bursty-loss
+#                     inversion, deterministic replay, runner hardening
+#   make smoke      — end-to-end fault sweep through cmd/sweep (flap preset,
+#                     4 cheap configs)
+#   make bench      — engine micro-benchmarks (0 allocs/op on reuse paths)
 
 GO ?= go
 
-.PHONY: ci vet build test allocs bench
+.PHONY: ci vet build test allocs resilience smoke bench
 
-ci: vet build test allocs
+ci: vet build test allocs resilience smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +31,13 @@ test:
 allocs:
 	$(GO) test -run 'TestAllocGuard' -v .
 	$(GO) test -run xxx -bench 'BenchmarkEngineHandlerChained|BenchmarkTimerReset' -benchmem ./internal/sim/
+
+resilience:
+	$(GO) test -race -v -run 'TestFlapRecoveryAllCCAs|TestGELossInversionBBRvLossBased|TestFaultedRunDeterminism|TestFaultProfileInResultIdentity|TestRunAllSurvivesPanic|TestRunAllWatchdogAbort|TestCheckpointResume' ./internal/experiment/
+	$(GO) test -race -run 'TestRTOExponentialBackoffDoubling|TestRTORearmAfterSuccessfulRetransmit' ./internal/tcp/
+
+smoke:
+	$(GO) run ./cmd/sweep -faults flap -configs 4 -bws 100Mbps -queues 2 -duration 6s -quiet -out /tmp/fault-smoke.json
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkTimer' -benchmem ./internal/sim/

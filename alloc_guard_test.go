@@ -14,6 +14,7 @@ import (
 	"repro/internal/aqm"
 	"repro/internal/cca"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/units"
 )
 
@@ -75,5 +76,47 @@ func BenchmarkSteadyStateAllocs(b *testing.B) {
 		goodputBytes := (res.SenderBps[0] + res.SenderBps[1]) * cfg.Duration.Seconds() / 8
 		b.ReportMetric(float64(res.Events)/cfg.Duration.Seconds(), "events/simsec")
 		b.ReportMetric(goodputBytes/8900, "segments")
+	}
+}
+
+// TestAllocGuardWithFaultProfile: the fault-injection path (Gilbert–Elliott
+// chain consulted per transmitted packet, flap/step timeline armed) must
+// not add per-packet allocations — the same ≤ 1 alloc budget as the clean
+// run. Profile setup costs a handful of one-time allocations per run,
+// amortized to noise over the half-million forwarded segments.
+func TestAllocGuardWithFaultProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2s of traffic; skipped in -short mode")
+	}
+	cfg := allocGuardConfig()
+	cfg.Faults = &faults.Profile{
+		GE:      &faults.GilbertElliott{PGoodBad: 0.01, PBadGood: 0.3, LossBad: 0.5},
+		Flaps:   []faults.Flap{{At: 900 * time.Millisecond, Down: 50 * time.Millisecond}},
+		BWSteps: []faults.BWStep{{At: 1500 * time.Millisecond, Factor: 0.8}},
+	}
+
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+	if last.FaultLossDrops == 0 || last.FaultDownDrops == 0 {
+		t.Fatalf("fault profile inactive during alloc guard: %+v", last)
+	}
+
+	goodputBytes := (last.SenderBps[0] + last.SenderBps[1]) * cfg.Duration.Seconds() / 8
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+	perPacket := allocs / segments
+	t.Logf("allocs/run = %.0f over %.0f segments → %.3f allocs per forwarded data packet",
+		allocs, segments, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("fault path allocation regression: %.3f allocs per forwarded data packet "+
+			"(budget ≤ 1, same as the clean run)", perPacket)
 	}
 }

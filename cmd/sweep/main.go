@@ -23,6 +23,7 @@ import (
 	"repro/internal/aqm"
 	"repro/internal/cca"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/units"
 )
 
@@ -39,6 +40,13 @@ func main() {
 		duration = flag.Duration("duration", 0, "override simulated duration for every run")
 		table3   = flag.String("table3", "", "render Table 3 from an existing results JSON and exit")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
+
+		faultSpec  = flag.String("faults", "", "fault profile for every run: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
+		configs    = flag.Int("configs", 0, "truncate the grid to its first N configurations (0 = all; for smoke tests)")
+		checkpoint = flag.String("checkpoint", "", "JSONL journal path: append each finished result and, on restart, skip configurations already journaled")
+		keepGoing  = flag.Bool("keep-going", true, "complete the sweep even if individual configurations fail; exit non-zero only when false")
+		maxEvents  = flag.Uint64("max-events", 0, "per-run watchdog: abort a configuration after this many simulator events (0 = unlimited)")
+		maxWall    = flag.Duration("max-wall", 0, "per-run watchdog: abort a configuration after this much wall time (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -102,11 +110,22 @@ func main() {
 		}
 	}
 
+	profile, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+
 	cfgs := experiment.Grid(opts)
-	if *duration > 0 {
-		for i := range cfgs {
+	if *configs > 0 && *configs < len(cfgs) {
+		cfgs = cfgs[:*configs]
+	}
+	for i := range cfgs {
+		if *duration > 0 {
 			cfgs[i].Duration = *duration
 		}
+		cfgs[i].Faults = profile
+		cfgs[i].MaxEvents = *maxEvents
+		cfgs[i].MaxWall = *maxWall
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d configurations\n", len(cfgs))
 
@@ -128,19 +147,45 @@ func main() {
 			if p.Last.Wall > 0 {
 				evRate = float64(p.Last.Events) / p.Last.Wall.Seconds()
 			}
-			fmt.Fprintf(os.Stderr, "[%4d/%4d] %-55s u=%.3f J=%.3f %6.2fMev/s heap=%dMiB (%v)\n",
-				p.Done, p.Total, p.LastID, p.Last.Utilization, p.Last.Jain,
-				evRate/1e6, peakHeap>>20,
+			status := fmt.Sprintf("u=%.3f J=%.3f", p.Last.Utilization, p.Last.Jain)
+			if p.Last.Errored() {
+				status = "ERROR " + p.Last.Error
+			}
+			fmt.Fprintf(os.Stderr, "[%4d/%4d] %-55s %s %6.2fMev/s heap=%dMiB skip=%d err=%d (%v)\n",
+				p.Done, p.Total, p.LastID, status,
+				evRate/1e6, peakHeap>>20, p.Skipped, p.Errored,
 				time.Since(start).Round(time.Second))
 		}
 	}
-	results, err := experiment.RunAll(cfgs, *workers, onProgress)
+	runOpts := experiment.RunAllOptions{
+		Workers:    *workers,
+		OnProgress: onProgress,
+		KeepGoing:  *keepGoing,
+	}
+	if *checkpoint != "" {
+		ck, err := experiment.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		defer ck.Close()
+		if n := ck.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: resuming, %d results already journaled in %s\n", n, *checkpoint)
+		}
+		runOpts.Checkpoint = ck
+	}
+	results, err := experiment.RunAllOpts(cfgs, runOpts)
 	if err != nil {
 		fatal(err)
+	}
+	if errored := countErrored(results); errored > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d configurations errored (kept going)\n", errored, len(cfgs))
 	}
 
 	note := fmt.Sprintf("grid sweep: %d configs, seeds=%d, paperScale=%v, generated by cmd/sweep",
 		len(cfgs), *seeds, *paper)
+	if id := profile.ID(); id != "" {
+		note += ", faults=" + id
+	}
 	if err := experiment.SaveFile(*out, &experiment.ResultSet{Note: note, Results: results}); err != nil {
 		fatal(err)
 	}
@@ -148,6 +193,16 @@ func main() {
 
 	fmt.Println()
 	fmt.Print(experiment.Summarize(results).RenderTable3())
+}
+
+func countErrored(results []experiment.Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Errored() {
+			n++
+		}
+	}
+	return n
 }
 
 func seedList(n int) []uint64 {

@@ -19,25 +19,27 @@ import (
 	"repro/internal/cca"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/units"
 )
 
 func main() {
 	var (
-		cca1     = flag.String("cca1", "cubic", "sender 1 congestion control (reno|cubic|htcp|bbr1|bbr2)")
-		cca2     = flag.String("cca2", "cubic", "sender 2 congestion control")
-		aqmName  = flag.String("aqm", "fifo", "bottleneck AQM (fifo|red|fq_codel)")
-		queue    = flag.Float64("queue", 2, "bottleneck buffer size in BDP multiples")
-		bwStr    = flag.String("bw", "1Gbps", "bottleneck bandwidth (e.g. 100Mbps, 25Gbps)")
-		duration = flag.Duration("duration", 0, "simulated transfer time (0 = bandwidth-scaled default)")
-		flows    = flag.Int("flows", 0, "flows per sender (0 = paper's Table 2 plan, scaled)")
-		seed     = flag.Uint64("seed", 1, "replica seed")
-		rtt      = flag.Duration("rtt", 62*time.Millisecond, "end-to-end round-trip time")
-		paper    = flag.Bool("paper-scale", false, "full 200s runs and uncapped Table 2 flow counts")
-		ecn      = flag.Bool("ecn", false, "enable ECN end to end")
-		traceDir = flag.String("trace", "", "directory for iperf3-style per-flow JSON logs")
-		interval = flag.Duration("interval", time.Second, "interval for the per-second report")
-		quiet    = flag.Bool("quiet", false, "suppress the per-interval report")
+		cca1      = flag.String("cca1", "cubic", "sender 1 congestion control (reno|cubic|htcp|bbr1|bbr2)")
+		cca2      = flag.String("cca2", "cubic", "sender 2 congestion control")
+		aqmName   = flag.String("aqm", "fifo", "bottleneck AQM (fifo|red|fq_codel)")
+		queue     = flag.Float64("queue", 2, "bottleneck buffer size in BDP multiples")
+		bwStr     = flag.String("bw", "1Gbps", "bottleneck bandwidth (e.g. 100Mbps, 25Gbps)")
+		duration  = flag.Duration("duration", 0, "simulated transfer time (0 = bandwidth-scaled default)")
+		flows     = flag.Int("flows", 0, "flows per sender (0 = paper's Table 2 plan, scaled)")
+		seed      = flag.Uint64("seed", 1, "replica seed")
+		rtt       = flag.Duration("rtt", 62*time.Millisecond, "end-to-end round-trip time")
+		paper     = flag.Bool("paper-scale", false, "full 200s runs and uncapped Table 2 flow counts")
+		ecn       = flag.Bool("ecn", false, "enable ECN end to end")
+		traceDir  = flag.String("trace", "", "directory for iperf3-style per-flow JSON logs")
+		interval  = flag.Duration("interval", time.Second, "interval for the per-second report")
+		quiet     = flag.Bool("quiet", false, "suppress the per-interval report")
+		faultSpec = flag.String("faults", "", "fault profile: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
 	)
 	flag.Parse()
 
@@ -57,6 +59,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	profile, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := experiment.Config{
 		Pairing:        experiment.Pairing{CCA1: c1, CCA2: c2},
@@ -70,6 +76,7 @@ func main() {
 		PaperScale:     *paper,
 		ECN:            *ecn,
 		SampleInterval: *interval,
+		Faults:         profile,
 	}
 
 	opts := core.RunOptions{TraceDir: *traceDir}
@@ -93,6 +100,10 @@ func main() {
 	fmt.Printf("retransmits     %10d (sender1 %d, sender2 %d)\n",
 		res.TotalRetransmits, res.Retransmits[0], res.Retransmits[1])
 	fmt.Printf("queue drops     %10d (ECN marks %d)\n", res.QueueDropped, res.QueueMarked)
+	if res.FaultLossDrops > 0 || res.FaultDownDrops > 0 {
+		fmt.Printf("fault drops     %10d loss-injected, %d flap-destroyed\n",
+			res.FaultLossDrops, res.FaultDownDrops)
+	}
 	fmt.Printf("queueing delay  %10v mean, %v max\n",
 		res.SojournMean.Round(time.Microsecond), res.SojournMax.Round(time.Microsecond))
 	fmt.Printf("events          %10d in %v wall\n", res.Events, res.Wall.Round(time.Millisecond))

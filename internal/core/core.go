@@ -45,11 +45,15 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	start := time.Now()
 
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.MaxEvents > 0 || cfg.MaxWall > 0 {
+		eng.SetBudget(cfg.MaxEvents, cfg.MaxWall)
+	}
 	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
 	d, err := topo.NewDumbbell(eng, topo.Config{
 		BottleneckBW: cfg.Bottleneck,
 		RTT:          cfg.RTT,
 		PathLoss:     cfg.PathLoss,
+		Faults:       cfg.Faults,
 		Queue: aqm.Config{
 			Kind:     cfg.AQM,
 			Capacity: queueBytes,
@@ -118,6 +122,11 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	eng.Schedule(cfg.SampleInterval, tick)
 
 	eng.RunFor(cfg.Duration)
+	if werr := eng.Overrun(); werr != nil {
+		return experiment.Result{Config: cfg, Error: werr.Error(), Events: eng.Executed(),
+				Wall: time.Since(start)},
+			fmt.Errorf("core: %s: %w", cfg.ID(), werr)
+	}
 
 	res := experiment.Result{
 		Config:     cfg,
@@ -147,6 +156,8 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	sj := d.Bottleneck.Sojourn()
 	res.SojournMean = sj.Mean
 	res.SojournMax = sj.Max
+	res.FaultLossDrops = d.Bottleneck.LossDrops()
+	res.FaultDownDrops = d.Bottleneck.DownDrops()
 
 	if opts.TraceDir != "" {
 		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {

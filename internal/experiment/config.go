@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/aqm"
 	"repro/internal/cca"
+	"repro/internal/faults"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -90,6 +91,17 @@ type Config struct {
 	PathLoss float64 `json:"path_loss,omitempty"`
 	// DelayedAck enables RFC 1122 delayed acknowledgements on receivers.
 	DelayedAck bool `json:"delayed_ack,omitempty"`
+	// Faults arms a deterministic fault timeline (Gilbert–Elliott bursty
+	// loss, link flaps, bandwidth/RTT steps) on the bottleneck port. The
+	// profile is part of result identity: it lands in ID and JSON.
+	Faults *faults.Profile `json:"faults,omitempty"`
+	// MaxEvents aborts the run after this many simulator events (0 =
+	// unlimited) — the sweep watchdog against runaway configurations. The
+	// abort is deterministic.
+	MaxEvents uint64 `json:"max_events,omitempty"`
+	// MaxWall aborts the run after this much real time (0 = unlimited), a
+	// machine-dependent safety net; aborted runs come back as errors.
+	MaxWall time.Duration `json:"max_wall_ns,omitempty"`
 }
 
 // Normalize fills defaults, returning the effective configuration.
@@ -116,13 +128,27 @@ func (c Config) Normalize() Config {
 	if c.AQM == "" {
 		c.AQM = aqm.KindFIFO
 	}
+	if c.Faults != nil {
+		n := c.Faults.Normalize()
+		if n.Empty() {
+			c.Faults = nil
+		} else {
+			c.Faults = &n
+		}
+	}
 	return c
 }
 
-// ID renders a filesystem- and log-friendly identifier.
+// ID renders a filesystem- and log-friendly identifier. Fault profiles are
+// part of the identity, so a faulted run never collides with (or resumes
+// from) a clean run of the same grid cell.
 func (c Config) ID() string {
-	return fmt.Sprintf("%s_%s_%gbdp_%s_seed%d", c.Pairing, c.AQM, c.QueueBDP,
+	id := fmt.Sprintf("%s_%s_%gbdp_%s_seed%d", c.Pairing, c.AQM, c.QueueBDP,
 		c.Bottleneck, c.Seed)
+	if fid := c.Faults.ID(); fid != "" {
+		id += "_" + fid
+	}
+	return id
 }
 
 // GridOptions controls grid generation.

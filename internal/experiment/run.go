@@ -41,12 +41,26 @@ type Result struct {
 	SojournMean time.Duration `json:"sojourn_mean_ns"`
 	SojournMax  time.Duration `json:"sojourn_max_ns"`
 
+	// Injected-fault accounting (zero on clean runs): packets destroyed by
+	// loss injection and by link flaps at the bottleneck.
+	FaultLossDrops uint64 `json:"fault_loss_drops,omitempty"`
+	FaultDownDrops uint64 `json:"fault_down_drops,omitempty"`
+
+	// Error is set when the run did not complete cleanly (panic recovered
+	// by the sweep runner, or watchdog abort). Errored results carry their
+	// Config for identification but no measurements, and are skipped by
+	// Summarize and by checkpoint resume.
+	Error string `json:"error,omitempty"`
+
 	// Run metadata.
 	Flows      int           `json:"flows"`
 	SimSeconds float64       `json:"sim_seconds"`
 	Events     uint64        `json:"events"`
 	Wall       time.Duration `json:"wall_ns"`
 }
+
+// Errored reports whether the result records a failed run.
+func (r Result) Errored() bool { return r.Error != "" }
 
 // SenderMbps returns a sender's throughput in Mbps.
 func (r Result) SenderMbps(i int) float64 { return r.SenderBps[i] / 1e6 }
@@ -58,11 +72,15 @@ func Run(cfg Config) (Result, error) {
 	start := time.Now()
 
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.MaxEvents > 0 || cfg.MaxWall > 0 {
+		eng.SetBudget(cfg.MaxEvents, cfg.MaxWall)
+	}
 	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
 	d, err := topo.NewDumbbell(eng, topo.Config{
 		BottleneckBW: cfg.Bottleneck,
 		RTT:          cfg.RTT,
 		PathLoss:     cfg.PathLoss,
+		Faults:       cfg.Faults,
 		Queue: aqm.Config{
 			Kind:     cfg.AQM,
 			Capacity: queueBytes,
@@ -90,6 +108,11 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	eng.RunFor(cfg.Duration)
+	if werr := eng.Overrun(); werr != nil {
+		return Result{Config: cfg, Error: werr.Error(), Events: eng.Executed(),
+				Wall: time.Since(start)},
+			fmt.Errorf("experiment %s: %w", cfg.ID(), werr)
+	}
 
 	res := Result{
 		Config:     cfg,
@@ -119,5 +142,7 @@ func Run(cfg Config) (Result, error) {
 	sj := d.Bottleneck.Sojourn()
 	res.SojournMean = sj.Mean
 	res.SojournMax = sj.Max
+	res.FaultLossDrops = d.Bottleneck.LossDrops()
+	res.FaultDownDrops = d.Bottleneck.DownDrops()
 	return res, nil
 }

@@ -8,10 +8,50 @@ import (
 
 // Progress reports sweep progress to a callback.
 type Progress struct {
-	Done   int
-	Total  int
-	Last   Result
-	LastID string
+	Done    int
+	Total   int
+	Skipped int // configs satisfied from the checkpoint, not re-run
+	Errored int // configs that panicked or hit the watchdog so far
+	Last    Result
+	LastID  string
+}
+
+// RunAllOptions controls a hardened sweep.
+type RunAllOptions struct {
+	// Workers is the worker-pool width (0 = GOMAXPROCS).
+	Workers int
+	// OnProgress, when set, is called (serialized) after every completed
+	// configuration.
+	OnProgress func(Progress)
+	// KeepGoing makes RunAllOpts return a nil error even when individual
+	// configurations fail; failures are still recorded in Result.Error.
+	// Without it the first failure is returned as the sweep error — but
+	// only after every configuration has been attempted either way.
+	KeepGoing bool
+	// Checkpoint, when set, is consulted before running (configs whose ID
+	// is already journaled are filled from it and skipped) and appended to
+	// as each configuration completes.
+	Checkpoint *Checkpoint
+}
+
+// testHookBeforeRun, when non-nil, runs inside the per-config recover()
+// scope before each simulation — the injection point for the runner's
+// panic-hardening tests.
+var testHookBeforeRun func(Config)
+
+// runSafe executes one configuration, converting a panic anywhere under
+// Run into an ordinary error so one poisoned configuration cannot take
+// down the worker pool (and with it a multi-hour sweep).
+func runSafe(cfg Config) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if testHookBeforeRun != nil {
+		testHookBeforeRun(cfg)
+	}
+	return Run(cfg)
 }
 
 // RunAll executes the configurations on a worker pool of the given width
@@ -19,6 +59,16 @@ type Progress struct {
 // single-threaded and deterministic; parallelism is purely across
 // configurations, so results are independent of worker count.
 func RunAll(cfgs []Config, workers int, onProgress func(Progress)) ([]Result, error) {
+	return RunAllOpts(cfgs, RunAllOptions{Workers: workers, OnProgress: onProgress})
+}
+
+// RunAllOpts is RunAll with hardening options: per-config panic recovery,
+// keep-going error policy, and checkpoint/resume. Every configuration is
+// attempted exactly once (or resumed from the checkpoint); a failed
+// configuration yields an errored Result identified by its config and
+// never stops the others.
+func RunAllOpts(cfgs []Config, o RunAllOptions) ([]Result, error) {
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -28,10 +78,23 @@ func RunAll(cfgs []Config, workers int, onProgress func(Progress)) ([]Result, er
 
 	results := make([]Result, len(cfgs))
 	errs := make([]error, len(cfgs))
+	skip := make([]bool, len(cfgs))
+	skipped := 0
+	if o.Checkpoint != nil {
+		for i := range cfgs {
+			if res, ok := o.Checkpoint.Lookup(cfgs[i].Normalize().ID()); ok {
+				results[i] = res
+				skip[i] = true
+				skipped++
+			}
+		}
+	}
+
 	jobs := make(chan int)
 
 	var mu sync.Mutex
-	done := 0
+	done := skipped
+	errored := 0
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -39,27 +102,45 @@ func RunAll(cfgs []Config, workers int, onProgress func(Progress)) ([]Result, er
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := Run(cfgs[i])
+				res, err := runSafe(cfgs[i])
+				if err != nil {
+					res.Config = cfgs[i].Normalize()
+					res.Error = err.Error()
+				}
 				results[i] = res
 				errs[i] = err
-				if onProgress != nil {
-					mu.Lock()
-					done++
-					onProgress(Progress{Done: done, Total: len(cfgs), Last: res, LastID: cfgs[i].ID()})
-					mu.Unlock()
+				mu.Lock()
+				if err == nil && o.Checkpoint != nil {
+					if cerr := o.Checkpoint.Append(res); cerr != nil && errs[i] == nil {
+						errs[i] = cerr
+					}
 				}
+				done++
+				if err != nil {
+					errored++
+				}
+				if o.OnProgress != nil {
+					o.OnProgress(Progress{Done: done, Total: len(cfgs), Skipped: skipped,
+						Errored: errored, Last: res, LastID: res.Config.ID()})
+				}
+				mu.Unlock()
 			}
 		}()
 	}
 	for i := range cfgs {
-		jobs <- i
+		if !skip[i] {
+			jobs <- i
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
+	if o.KeepGoing {
+		return results, nil
+	}
 	for i, err := range errs {
 		if err != nil {
-			return results, fmt.Errorf("config %d (%s): %w", i, cfgs[i].ID(), err)
+			return results, fmt.Errorf("config %d (%s): %w", i, results[i].Config.ID(), err)
 		}
 	}
 	return results, nil

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // ResultSet is the serialized form of a sweep.
@@ -60,4 +62,104 @@ func LoadFile(path string) (*ResultSet, error) {
 	}
 	defer f.Close()
 	return ReadJSON(f)
+}
+
+// Checkpoint is an append-only JSONL journal of completed results, one
+// Result per line, that lets a multi-hour sweep survive a crash: the
+// runner appends each result as it finishes, and a restarted sweep opens
+// the same file and skips every configuration whose ID is already
+// journaled. Only clean results are appended — errored configurations
+// (panic, watchdog) re-run on resume. Append is safe for concurrent use by
+// the worker pool.
+type Checkpoint struct {
+	path string
+
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]Result
+}
+
+// OpenCheckpoint opens (creating if needed) the journal at path and loads
+// every previously completed result. Unparseable lines — e.g. a torn final
+// write from a crash — are skipped, not fatal: losing one result to a
+// crash costs one re-run, never the sweep.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint mkdir %s: %w", dir, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: open checkpoint %s: %w", path, err)
+	}
+	c := &Checkpoint{path: path, f: f, done: make(map[string]Result)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal(line, &res); err != nil {
+			continue // torn or corrupt line: ignore, that config re-runs
+		}
+		if res.Errored() {
+			continue
+		}
+		c.done[res.Config.ID()] = res
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: read checkpoint %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Len returns the number of completed results loaded or appended so far.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Lookup returns the journaled result for a config ID, if present.
+func (c *Checkpoint) Lookup(id string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.done[id]
+	return res, ok
+}
+
+// Append journals one completed result. Errored results are ignored (they
+// must re-run on resume). Each line is written and flushed atomically with
+// respect to other Append calls.
+func (c *Checkpoint) Append(res Result) error {
+	if res.Errored() {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint encode: %w", err)
+	}
+	data = append(data, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(data); err != nil {
+		return fmt.Errorf("experiment: checkpoint append: %w", err)
+	}
+	c.done[res.Config.ID()] = res
+	return nil
+}
+
+// Close closes the underlying journal file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
 }

@@ -37,11 +37,16 @@ type Summary struct {
 }
 
 // Summarize averages results over seeds, recording the replica spread.
+// Errored results (panicked or watchdog-aborted configurations) carry no
+// measurements and are skipped.
 func Summarize(results []Result) *Summary {
 	acc := map[CellKey]*Cell{}
 	jains := map[CellKey][]float64{}
 	utils := map[CellKey][]float64{}
 	for _, r := range results {
+		if r.Errored() {
+			continue
+		}
 		k := CellKey{r.Config.Pairing, r.Config.AQM, r.Config.QueueBDP, r.Config.Bottleneck}
 		c := acc[k]
 		if c == nil {

@@ -47,15 +47,27 @@ type Port struct {
 	deliverH portDeliver
 
 	// Fault injection (the paper's "network anomalies" future work):
-	// lossRate drops transmitted packets at random; jitter adds a uniform
-	// extra delay in [0, jitter) per packet.
+	// lossRate drops transmitted packets uniformly at random; ge overlays a
+	// Gilbert–Elliott bursty-loss chain; jitter adds a uniform extra delay
+	// in [0, jitter) per packet; down models a carrier loss (link flap).
+	// The RNG is derived from the engine's seeded RNG on first use, so
+	// fault behaviour is bit-reproducible per engine seed.
 	lossRate float64
 	jitter   time.Duration
 	rng      *sim.RNG
+	ge       geChain
+	down     bool
+
+	// allowReorder lets jittered deliveries overtake each other; by default
+	// delivery times are clamped monotonic per port (a link does not
+	// reorder frames).
+	allowReorder  bool
+	lastDeliverAt sim.Time
 
 	txPackets uint64
 	txBytes   units.ByteSize
 	lossDrops uint64
+	downDrops uint64
 
 	// Queueing-delay telemetry (sojourn from enqueue to serialization
 	// start) — the direct evidence of bufferbloat the paper reasons about.
@@ -107,6 +119,17 @@ func (po *Port) TxBytes() units.ByteSize { return po.txBytes }
 // SetDst rewires the port's destination (used by topology builders).
 func (po *Port) SetDst(dst Receiver) { po.dst = dst }
 
+// ensureRNG lazily derives the port's private random stream from the
+// engine's seeded RNG. Deriving (rather than sharing) keeps per-packet
+// draws from perturbing other consumers of the engine RNG, while still
+// making every fault decision a pure function of the engine seed and the
+// deterministic construction order.
+func (po *Port) ensureRNG() {
+	if po.rng == nil {
+		po.rng = sim.NewRNG(po.eng.RNG().Uint64())
+	}
+}
+
 // SetLoss makes the port drop transmitted packets uniformly at random with
 // the given probability — corruption/anomaly injection on the wire, after
 // the queue (so AQM statistics stay clean).
@@ -118,31 +141,151 @@ func (po *Port) SetLoss(rate float64) {
 		rate = 1
 	}
 	po.lossRate = rate
-	if po.rng == nil {
-		po.rng = sim.NewRNG(uint64(len(po.Name))*0x9e3779b97f4a7c15 + 0xbad)
+	po.ensureRNG()
+}
+
+// geChain is a two-state Gilbert–Elliott loss process: per transmitted
+// packet the chain drops with the current state's loss probability, then
+// transitions good→bad with pGB or bad→good with pBG. Mean burst length is
+// 1/pBG packets; the stationary bad fraction is pGB/(pGB+pBG).
+type geChain struct {
+	enabled                bool
+	bad                    bool
+	pGB, pBG, lossG, lossB float64
+}
+
+// step advances the chain one packet and reports whether to drop it.
+func (g *geChain) step(rng *sim.RNG) bool {
+	p := g.lossG
+	if g.bad {
+		p = g.lossB
+	}
+	drop := p > 0 && rng.Float64() < p
+	if g.bad {
+		if rng.Float64() < g.pBG {
+			g.bad = false
+		}
+	} else if rng.Float64() < g.pGB {
+		g.bad = true
+	}
+	return drop
+}
+
+// SetGELoss arms a Gilbert–Elliott bursty-loss chain on the port (the
+// fault-injection layer's burst-loss model). Probabilities are clamped to
+// [0, 1]; all-zero loss probabilities disable the chain. The chain starts
+// in the good state and evolves once per transmitted packet on the port's
+// deterministic RNG, independently of the uniform SetLoss rate.
+func (po *Port) SetGELoss(pGB, pBG, lossGood, lossBad float64) {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	po.ge = geChain{
+		pGB:   clamp(pGB),
+		pBG:   clamp(pBG),
+		lossG: clamp(lossGood),
+		lossB: clamp(lossBad),
+	}
+	po.ge.enabled = po.ge.lossG > 0 || po.ge.lossB > 0
+	if po.ge.enabled {
+		po.ensureRNG()
 	}
 }
 
 // SetJitter adds a uniform random extra propagation delay in [0, d) per
-// packet. Note that jitter can reorder deliveries.
+// packet. By default delivery remains in-order (delivery times are clamped
+// monotonic per port); call SetAllowReorder(true) to let late draws
+// overtake earlier packets.
 func (po *Port) SetJitter(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	po.jitter = d
-	if po.rng == nil {
-		po.rng = sim.NewRNG(uint64(len(po.Name))*0x9e3779b97f4a7c15 + 0xbad)
+	po.ensureRNG()
+}
+
+// SetAllowReorder controls whether jitter (or a shrinking propagation
+// delay) may reorder deliveries. The default is false: a port models a
+// FIFO link, so delivery times are clamped to be non-decreasing.
+func (po *Port) SetAllowReorder(allow bool) { po.allowReorder = allow }
+
+// SetRate changes the link rate mid-run (a fault-injection bandwidth
+// step). The packet currently being serialized finishes at the old rate;
+// subsequent packets use the new one. Non-positive rates are ignored —
+// model an outage with SetDown instead.
+func (po *Port) SetRate(rate units.Bandwidth) {
+	if rate > 0 {
+		po.rate = rate
 	}
 }
 
-// LossDrops returns how many packets were destroyed by injected loss.
+// Delay returns the configured propagation delay.
+func (po *Port) Delay() time.Duration { return po.delay }
+
+// SetDelay changes the propagation delay mid-run (a fault-injection RTT
+// step). Negative delays clamp to zero. Unless SetAllowReorder(true) is
+// set, a shrinking delay cannot reorder packets already in flight: new
+// deliveries are clamped behind the latest scheduled delivery.
+func (po *Port) SetDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	po.delay = d
+}
+
+// SetDown flaps the link carrier. Taking the port down drains and drops
+// the entire egress queue (the router flushes buffers on carrier loss) and
+// destroys every packet offered or serialized while down; bringing it back
+// up restarts the transmitter. Packets already past serialization (in
+// propagation) still arrive — they are on the wire ahead of the failure.
+func (po *Port) SetDown(down bool) {
+	if po.down == down {
+		return
+	}
+	po.down = down
+	if down {
+		now := po.eng.Now()
+		for {
+			p := po.queue.Dequeue(now)
+			if p == nil {
+				break
+			}
+			po.downDrops++
+			packet.Release(p)
+		}
+		return
+	}
+	if !po.busy {
+		po.transmitNext()
+	}
+}
+
+// Down reports whether the link is currently flapped down.
+func (po *Port) Down() bool { return po.down }
+
+// LossDrops returns how many packets were destroyed by injected loss
+// (uniform and Gilbert–Elliott).
 func (po *Port) LossDrops() uint64 { return po.lossDrops }
+
+// DownDrops returns how many packets were destroyed by link flaps.
+func (po *Port) DownDrops() uint64 { return po.downDrops }
 
 // Receive implements Receiver: forward the packet out this port.
 func (po *Port) Receive(now sim.Time, p *packet.Packet) { po.Send(p) }
 
 // Send offers a packet to the egress queue and kicks the transmitter.
 func (po *Port) Send(p *packet.Packet) {
+	if po.down {
+		po.downDrops++
+		packet.Release(p)
+		return
+	}
 	now := po.eng.Now()
 	if !po.queue.Enqueue(now, p) {
 		return // queue dropped (and released) it
@@ -188,6 +331,13 @@ func (h *portTxDone) OnEvent(arg any) {
 	switch {
 	case po.dst == nil:
 		packet.Release(p)
+	case po.down:
+		// Carrier dropped while the packet was serializing.
+		po.downDrops++
+		packet.Release(p)
+	case po.ge.enabled && po.ge.step(po.rng):
+		po.lossDrops++
+		packet.Release(p)
 	case po.lossRate > 0 && po.rng.Float64() < po.lossRate:
 		po.lossDrops++
 		packet.Release(p)
@@ -196,10 +346,16 @@ func (h *portTxDone) OnEvent(arg any) {
 		if po.jitter > 0 {
 			delay += time.Duration(po.rng.Jitter(float64(po.jitter)))
 		}
-		if delay > 0 {
-			po.eng.ScheduleHandler(delay, &po.deliverH, p)
+		now := po.eng.Now()
+		at := now + sim.Duration(delay)
+		if !po.allowReorder && at < po.lastDeliverAt {
+			at = po.lastDeliverAt // FIFO link: never overtake an earlier packet
+		}
+		po.lastDeliverAt = at
+		if at > now {
+			po.eng.ScheduleHandlerAt(at, &po.deliverH, p)
 		} else {
-			po.dst.Receive(po.eng.Now(), p)
+			po.dst.Receive(now, p)
 		}
 	}
 	po.transmitNext()

@@ -152,6 +152,14 @@ type Engine struct {
 	// free is the pool of engine-owned events for the handler path.
 	free []*Event
 
+	// Watchdog budget (see SetBudget). budgeted gates the per-event checks
+	// so the unbudgeted hot path pays a single predictable branch.
+	budgeted  bool
+	maxEvents uint64
+	maxWall   time.Duration
+	wallStart time.Time
+	overrun   error
+
 	// Stats.
 	executed uint64
 }
@@ -243,6 +251,40 @@ func (e *Engine) release(ev *Event) {
 // Stop halts the run loop after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetBudget arms the engine watchdog: the run loop aborts once it has
+// executed maxEvents events (0 = unlimited) or once maxWall of real time
+// has elapsed since SetBudget was called (0 = unlimited). The event budget
+// is exact and deterministic; the wall budget is checked every 2^16 events
+// and is a machine-dependent safety net for runaway configurations. After
+// an overrun the loop stops and Overrun reports why.
+func (e *Engine) SetBudget(maxEvents uint64, maxWall time.Duration) {
+	e.maxEvents = maxEvents
+	e.maxWall = maxWall
+	e.wallStart = time.Now()
+	e.budgeted = maxEvents > 0 || maxWall > 0
+	e.overrun = nil
+}
+
+// Overrun returns a non-nil error if a SetBudget limit was exceeded.
+func (e *Engine) Overrun() error { return e.overrun }
+
+// checkBudget enforces SetBudget limits; it reports true when the run loop
+// must abort.
+func (e *Engine) checkBudget() bool {
+	if e.overrun != nil {
+		return true
+	}
+	if e.maxEvents > 0 && e.executed >= e.maxEvents {
+		e.overrun = fmt.Errorf("sim: watchdog: event budget exceeded (%d events)", e.maxEvents)
+		return true
+	}
+	if e.maxWall > 0 && e.executed&0xffff == 0 && time.Since(e.wallStart) > e.maxWall {
+		e.overrun = fmt.Errorf("sim: watchdog: wall budget exceeded (%v)", e.maxWall)
+		return true
+	}
+	return false
+}
+
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.RunUntil(Time(1<<63 - 1))
@@ -258,6 +300,9 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(end Time) {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
+		if e.budgeted && e.checkBudget() {
+			return // overrun: leave the clock where the watchdog fired
+		}
 		next := e.queue[0]
 		if next.at > end {
 			break

@@ -556,3 +556,71 @@ func BenchmarkTimerReset(b *testing.B) {
 		tm.Reset(time.Duration(i%1000) * time.Microsecond)
 	}
 }
+
+// TestBudgetEventLimit: the watchdog must stop the run loop at exactly the
+// event budget and report the overrun, deterministically.
+func TestBudgetEventLimit(t *testing.T) {
+	eng := NewEngine(1)
+	eng.SetBudget(100, 0)
+	var fired int
+	var rearm func()
+	rearm = func() {
+		fired++
+		eng.Schedule(time.Millisecond, rearm)
+	}
+	eng.Schedule(time.Millisecond, rearm)
+	eng.Run()
+	if eng.Overrun() == nil {
+		t.Fatal("watchdog did not trip")
+	}
+	if fired != 100 {
+		t.Fatalf("executed %d events past a budget of 100", fired)
+	}
+	if eng.Executed() != 100 {
+		t.Fatalf("Executed() = %d, want 100", eng.Executed())
+	}
+}
+
+// TestBudgetWallLimit: the wall budget is checked every 2^16 events, so an
+// already-expired budget must trip once the event count crosses that mark.
+func TestBudgetWallLimit(t *testing.T) {
+	eng := NewEngine(1)
+	eng.SetBudget(0, time.Nanosecond)
+	var fired int
+	var rearm func()
+	rearm = func() {
+		fired++
+		if fired < 1<<17 {
+			eng.Schedule(time.Microsecond, rearm)
+		}
+	}
+	eng.Schedule(time.Microsecond, rearm)
+	eng.Run()
+	if eng.Overrun() == nil {
+		t.Fatal("wall watchdog did not trip")
+	}
+	if fired >= 1<<17 {
+		t.Fatal("wall watchdog never stopped the loop")
+	}
+}
+
+// TestBudgetClearedByReset: re-arming the budget clears a previous overrun
+// and an unbudgeted engine never trips.
+func TestBudgetClearedByReset(t *testing.T) {
+	eng := NewEngine(1)
+	eng.SetBudget(1, 0)
+	eng.Schedule(time.Millisecond, func() {})
+	eng.Schedule(2*time.Millisecond, func() {})
+	eng.Run()
+	if eng.Overrun() == nil {
+		t.Fatal("budget of 1 did not trip on the second event")
+	}
+	eng.SetBudget(0, 0)
+	if eng.Overrun() != nil {
+		t.Fatal("SetBudget did not clear the overrun")
+	}
+	eng.Run() // drains the remaining event without a budget
+	if eng.Overrun() != nil {
+		t.Fatal("unbudgeted run tripped the watchdog")
+	}
+}

@@ -1,0 +1,128 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// rtoTraceCC is a stub controller that timestamps every RTO event.
+type rtoTraceCC struct {
+	stubCC
+	eng     *sim.Engine
+	fireAt  []sim.Time
+	rtoSeen []time.Duration // Conn.RTO() immediately after each backoff
+	conn    *Conn
+}
+
+func (s *rtoTraceCC) OnRTO(c *Conn) {
+	s.stubCC.OnRTO(c)
+	s.fireAt = append(s.fireAt, s.eng.Now())
+	s.rtoSeen = append(s.rtoSeen, c.RTO())
+}
+
+// TestRTOExponentialBackoffDoubling: on a blackholed path every expiry
+// must double the retransmission timeout — 1s, 2s, 4s, ... — until the
+// 60 s maxRTO clamp, and the inter-expiry gaps must match exactly (the
+// simulation is deterministic; there is no tolerance to hide behind).
+func TestRTOExponentialBackoffDoubling(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cc := &rtoTraceCC{stubCC: stubCC{fixedCwnd: 8 * 8900}, eng: eng}
+	conn := NewConn(eng, 1, Config{}, cc, func(p *packet.Packet) { packet.Release(p) })
+	cc.conn = conn
+	conn.Start()
+	eng.RunFor(250 * time.Second)
+
+	// 1+2+4+8+16+32+60+60 s of backoff fits 8 fires in 250 s.
+	if len(cc.fireAt) < 8 {
+		t.Fatalf("only %d RTOs in 250s", len(cc.fireAt))
+	}
+	wantRTO := 2 * time.Second // after the first fire: initialRTO doubled
+	for i, got := range cc.rtoSeen {
+		if got != wantRTO {
+			t.Fatalf("after RTO %d: rto = %v, want %v", i+1, got, wantRTO)
+		}
+		wantRTO *= 2
+		if wantRTO > 60*time.Second {
+			wantRTO = 60 * time.Second
+		}
+	}
+	// The gap between consecutive fires is the post-backoff rto itself.
+	for i := 1; i < len(cc.fireAt); i++ {
+		gap := time.Duration(cc.fireAt[i] - cc.fireAt[i-1])
+		if gap != cc.rtoSeen[i-1] {
+			t.Fatalf("gap %d = %v, want %v (timer not re-armed with the backed-off rto)",
+				i, gap, cc.rtoSeen[i-1])
+		}
+	}
+	last := cc.rtoSeen[len(cc.rtoSeen)-1]
+	if last != 60*time.Second {
+		t.Fatalf("backoff never reached the maxRTO clamp: %v", last)
+	}
+	if conn.Stats().RTOs != uint64(len(cc.fireAt)) {
+		t.Fatalf("stats.RTOs = %d, traced %d", conn.Stats().RTOs, len(cc.fireAt))
+	}
+}
+
+// TestRTORearmAfterSuccessfulRetransmit: once the path heals, the first
+// retransmission that gets through must (a) leave the retransmission timer
+// armed and (b) let fresh RTT samples collapse the backed-off rto back to
+// the estimator's value — a connection must not stay stuck at a multi-
+// second timeout after one bad episode.
+func TestRTORearmAfterSuccessfulRetransmit(t *testing.T) {
+	eng := sim.NewEngine(1)
+	owd := 5 * time.Millisecond
+
+	back := netem.NewPort(eng, "back", 100*units.GigabitPerSec, owd, nil, nil)
+	bott := netem.NewPort(eng, "bottleneck", 100*units.MegabitPerSec, owd, nil, nil)
+
+	blackhole := true
+	cc := &stubCC{fixedCwnd: 8 * 8900}
+	conn := NewConn(eng, 1, Config{}, cc, func(p *packet.Packet) {
+		if blackhole {
+			packet.Release(p)
+			return
+		}
+		bott.Send(p)
+	})
+	rcv := NewReceiver(eng, 1, 0, func(p *packet.Packet) { back.Send(p) })
+	bott.SetDst(rcv)
+	back.SetDst(conn)
+
+	conn.Start()
+	// Blackhole through two expiries: rto walks 1s → 2s → 4s.
+	eng.RunFor(3500 * time.Millisecond)
+	if got := conn.Stats().RTOs; got != 2 {
+		t.Fatalf("expected exactly 2 RTOs while blackholed, got %d", got)
+	}
+	if conn.RTO() != 4*time.Second {
+		t.Fatalf("rto after two backoffs = %v, want 4s", conn.RTO())
+	}
+
+	// Heal the path; the 3rd expiry's retransmission gets through.
+	blackhole = false
+	eng.RunFor(10 * time.Second)
+
+	if rcv.Goodput() == 0 {
+		t.Fatal("no data delivered after the path healed")
+	}
+	if got := conn.Stats().RTOs; got != 3 {
+		t.Fatalf("RTOs after healing = %d, want exactly 3 (timer must stop firing once ACKs flow)", got)
+	}
+	if !conn.rtoTimer.Pending() {
+		t.Fatal("retransmission timer not re-armed while data is outstanding")
+	}
+	// Fresh samples on a ~10 ms path bring rto back to the 200 ms floor.
+	if conn.RTO() >= time.Second {
+		t.Fatalf("rto still backed off after recovery: %v", conn.RTO())
+	}
+	before := rcv.Goodput()
+	eng.RunFor(2 * time.Second)
+	if rcv.Goodput() <= before {
+		t.Fatal("transfer stalled after recovery")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/aqm"
+	"repro/internal/faults"
 	"repro/internal/netem"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -28,6 +29,10 @@ type Config struct {
 	// (router2→servers), after the bottleneck queue — the "variable rates
 	// of packet loss" anomaly from the paper's future-work section.
 	PathLoss float64
+
+	// Faults, when non-nil, arms a deterministic fault timeline (bursty
+	// loss, link flaps, bandwidth/RTT steps) on the bottleneck port.
+	Faults *faults.Profile
 }
 
 func (cfg *Config) defaults() error {
@@ -171,7 +176,17 @@ func NewDumbbell(eng *sim.Engine, cfg Config) (*Dumbbell, error) {
 	d.serverTx[0] = netem.NewPort(eng, "s1->r2", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.revCore1)
 	d.serverTx[1] = netem.NewPort(eng, "s2->r2", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.revCore1)
 
+	d.ApplyFaults(cfg.Faults)
 	return d, nil
+}
+
+// ApplyFaults arms a fault profile on the bottleneck port — the link whose
+// impairments the fairness experiments study. Timeline entries are
+// scheduled relative to the current simulation time; a nil or empty
+// profile is a no-op. NewDumbbell calls this for Config.Faults, so it only
+// needs to be called directly for profiles decided after construction.
+func (d *Dumbbell) ApplyFaults(p *faults.Profile) {
+	faults.Apply(d.Eng, d.Bottleneck, p)
 }
 
 // AddFlow attaches a new flow originating at client node sender (0 or 1),
