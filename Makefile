@@ -1,23 +1,39 @@
 # CI entry points for the TCP-fairness reproduction.
 #
 #   make ci         — everything below, in order (what a PR must pass)
-#   make vet        — static analysis
+#   make lint       — formatting (gofmt) and static analysis (go vet)
+#   make vet        — static analysis only
 #   make build      — compile all packages and commands
 #   make test       — full suite under the race detector (covers the
-#                     experiment worker pool in internal/experiment/runner.go)
+#                     experiment worker pool in internal/experiment/runner.go
+#                     and runs every audited/metamorphic suite)
 #   make allocs     — zero-allocation event-core gates; built with !race
-#                     (the race runtime changes the allocation profile)
+#                     (the race runtime changes the allocation profile).
+#                     Auditing is off here: the gate proves the auditor costs
+#                     nothing when disabled.
+#   make audit      — targeted invariant-auditor suites: conservation across
+#                     all AQMs, seeded-bug detection, violation-to-result
+#                     plumbing, metamorphic relations
 #   make resilience — fault-injection shape suite: flap recovery, bursty-loss
 #                     inversion, deterministic replay, runner hardening
-#   make smoke      — end-to-end fault sweep through cmd/sweep (flap preset,
-#                     4 cheap configs)
+#   make smoke      — end-to-end fault sweep through cmd/sweep in a private
+#                     temp dir (flap preset, 4 cheap configs) with -audit and
+#                     -strict: any errored or checkpoint-skipped config makes
+#                     the target fail
+#   make fuzz-smoke — every fuzz target for a short budget, seeded from the
+#                     checked-in corpora under */testdata/fuzz
 #   make bench      — engine micro-benchmarks (0 allocs/op on reuse paths)
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: ci vet build test allocs resilience smoke bench
+.PHONY: ci lint vet build test allocs audit resilience smoke fuzz-smoke bench
 
-ci: vet build test allocs resilience smoke
+ci: lint build test allocs audit resilience smoke fuzz-smoke
+
+lint: vet
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$fmt"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -32,12 +48,25 @@ allocs:
 	$(GO) test -run 'TestAllocGuard' -v .
 	$(GO) test -run xxx -bench 'BenchmarkEngineHandlerChained|BenchmarkTimerReset' -benchmem ./internal/sim/
 
+audit:
+	$(GO) test -race -v -run 'TestAudit|TestViolation|TestMetamorphic|TestDropAccountingAllAQMs|TestCheckpointLastWriteWins' ./internal/audit/ ./internal/sim/ ./internal/netem/ ./internal/experiment/
+
 resilience:
 	$(GO) test -race -v -run 'TestFlapRecoveryAllCCAs|TestGELossInversionBBRvLossBased|TestFaultedRunDeterminism|TestFaultProfileInResultIdentity|TestRunAllSurvivesPanic|TestRunAllWatchdogAbort|TestCheckpointResume' ./internal/experiment/
 	$(GO) test -race -run 'TestRTOExponentialBackoffDoubling|TestRTORearmAfterSuccessfulRetransmit' ./internal/tcp/
 
 smoke:
-	$(GO) run ./cmd/sweep -faults flap -configs 4 -bws 100Mbps -queues 2 -duration 6s -quiet -out /tmp/fault-smoke.json
+	@tmp=$$(mktemp -d) || exit 1; \
+	$(GO) run ./cmd/sweep -faults flap -configs 4 -bws 100Mbps -queues 2 \
+		-duration 6s -quiet -audit -strict \
+		-checkpoint $$tmp/fault-smoke.ckpt.jsonl -out $$tmp/fault-smoke.json; \
+	rc=$$?; rm -rf "$$tmp"; exit $$rc
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzFaultsParse -fuzztime $(FUZZTIME) ./internal/faults/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointReload -fuzztime $(FUZZTIME) ./internal/experiment/
+	$(GO) test -run '^$$' -fuzz FuzzAQMQueueOps -fuzztime $(FUZZTIME) ./internal/aqm/
+	$(GO) test -run '^$$' -fuzz FuzzConnAckProcessing -fuzztime $(FUZZTIME) ./internal/tcp/
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkTimer' -benchmem ./internal/sim/

@@ -47,6 +47,8 @@ func main() {
 		keepGoing  = flag.Bool("keep-going", true, "complete the sweep even if individual configurations fail; exit non-zero only when false")
 		maxEvents  = flag.Uint64("max-events", 0, "per-run watchdog: abort a configuration after this many simulator events (0 = unlimited)")
 		maxWall    = flag.Duration("max-wall", 0, "per-run watchdog: abort a configuration after this much wall time (0 = unlimited)")
+		auditRun   = flag.Bool("audit", false, "enable the runtime invariant auditor on every run; violations become errored results")
+		strict     = flag.Bool("strict", false, "exit non-zero if any configuration errored or was skipped by checkpoint resume (for CI smoke runs)")
 	)
 	flag.Parse()
 
@@ -126,6 +128,7 @@ func main() {
 		cfgs[i].Faults = profile
 		cfgs[i].MaxEvents = *maxEvents
 		cfgs[i].MaxWall = *maxWall
+		cfgs[i].Audit = *auditRun
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d configurations\n", len(cfgs))
 
@@ -162,6 +165,7 @@ func main() {
 		OnProgress: onProgress,
 		KeepGoing:  *keepGoing,
 	}
+	skippedAhead := 0
 	if *checkpoint != "" {
 		ck, err := experiment.OpenCheckpoint(*checkpoint)
 		if err != nil {
@@ -172,12 +176,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: resuming, %d results already journaled in %s\n", n, *checkpoint)
 		}
 		runOpts.Checkpoint = ck
+		for _, c := range cfgs {
+			if _, ok := ck.Lookup(c.Normalize().ID()); ok {
+				skippedAhead++
+			}
+		}
 	}
 	results, err := experiment.RunAllOpts(cfgs, runOpts)
 	if err != nil {
 		fatal(err)
 	}
-	if errored := countErrored(results); errored > 0 {
+	errored := countErrored(results)
+	if errored > 0 {
 		fmt.Fprintf(os.Stderr, "sweep: %d of %d configurations errored (kept going)\n", errored, len(cfgs))
 	}
 
@@ -193,6 +203,10 @@ func main() {
 
 	fmt.Println()
 	fmt.Print(experiment.Summarize(results).RenderTable3())
+
+	if *strict && (errored > 0 || skippedAhead > 0) {
+		fatal(fmt.Errorf("strict: %d errored, %d checkpoint-skipped configurations", errored, skippedAhead))
+	}
 }
 
 func countErrored(results []experiment.Result) int {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/aqm"
+	"repro/internal/audit"
 	"repro/internal/cca"
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -40,6 +41,7 @@ func main() {
 		interval  = flag.Duration("interval", time.Second, "interval for the per-second report")
 		quiet     = flag.Bool("quiet", false, "suppress the per-interval report")
 		faultSpec = flag.String("faults", "", "fault profile: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
+		auditRun  = flag.Bool("audit", false, "enable the runtime invariant auditor (packet conservation, queue accounting, TCP sequence sanity)")
 	)
 	flag.Parse()
 
@@ -77,13 +79,14 @@ func main() {
 		ECN:            *ecn,
 		SampleInterval: *interval,
 		Faults:         profile,
+		Audit:          *auditRun,
 	}
 
 	opts := core.RunOptions{TraceDir: *traceDir}
 	if !*quiet {
 		opts.IntervalWriter = os.Stdout
 	}
-	res, err := core.RunDetailed(cfg, opts)
+	res, err := runDetailed(cfg, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -107,6 +110,22 @@ func main() {
 	fmt.Printf("queueing delay  %10v mean, %v max\n",
 		res.SojournMean.Round(time.Microsecond), res.SojournMax.Round(time.Microsecond))
 	fmt.Printf("events          %10d in %v wall\n", res.Events, res.Wall.Round(time.Millisecond))
+}
+
+// runDetailed wraps core.RunDetailed, converting an invariant-auditor
+// violation (raised as a panic so the sweep runner can journal it) into a
+// clean fatal error with the full structured report for interactive use.
+func runDetailed(cfg experiment.Config, opts core.RunOptions) (res experiment.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, ok := r.(*audit.Violation)
+			if !ok {
+				panic(r)
+			}
+			err = v
+		}
+	}()
+	return core.RunDetailed(cfg, opts)
 }
 
 func fatal(err error) {

@@ -1,0 +1,118 @@
+package aqm
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// CoDel is the standalone single-queue Controlled Delay discipline
+// (RFC 8289, Linux sch_codel): a tail-drop buffer whose dequeue side runs
+// the CoDel sojourn-time drop law. It is not part of the paper's grid
+// (the paper evaluates FIFO, RED and FQ-CoDel) but completes the AQM set
+// for validation runs and isolates the control law from the fair-queuing
+// layer for ablation.
+type CoDel struct {
+	ring  pktRing
+	bytes units.ByteSize
+	cap   units.ByteSize
+	stats Stats
+	ctl   codelState
+
+	// doorDrops counts tail drops at the full buffer, a subset of
+	// stats.Dropped. CoDel shares FIFO/RED door semantics (rejected packets
+	// are not Enqueued) while also dropping post-acceptance at dequeue, so
+	// the split is needed to state the accepted-packet balance:
+	// Enqueued = Dequeued + (Dropped - doorDrops) + Len.
+	doorDrops uint64
+}
+
+// NewCoDel returns a standalone CoDel queue holding at most capacity bytes.
+func NewCoDel(capacity units.ByteSize, ecn bool, p CoDelParams) *CoDel {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	p.defaults()
+	if ecn {
+		p.ECN = true
+	}
+	return &CoDel{cap: capacity, ctl: codelState{p: p}}
+}
+
+// Name implements Queue.
+func (q *CoDel) Name() string { return string(KindCoDel) }
+
+// Capacity implements Queue.
+func (q *CoDel) Capacity() units.ByteSize { return q.cap }
+
+// Len implements Queue.
+func (q *CoDel) Len() int { return q.ring.len() }
+
+// Bytes implements Queue.
+func (q *CoDel) Bytes() units.ByteSize { return q.bytes }
+
+// Stats implements Queue.
+func (q *CoDel) Stats() Stats { return q.stats }
+
+// Enqueue implements Queue: tail drop when the byte limit would be
+// exceeded, otherwise accept — all AQM intelligence runs at dequeue.
+func (q *CoDel) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if q.bytes+p.Size > q.cap {
+		q.stats.Dropped++
+		q.stats.DroppedBytes += p.Size
+		q.doorDrops++
+		packet.Release(p)
+		return false
+	}
+	p.EnqueueAt = now
+	q.ring.push(p)
+	q.bytes += p.Size
+	q.stats.Enqueued++
+	return true
+}
+
+// pop implements codelSource.
+func (q *CoDel) pop() *packet.Packet {
+	p := q.ring.pop()
+	if p != nil {
+		q.bytes -= p.Size
+	}
+	return p
+}
+
+// backlog implements codelSource.
+func (q *CoDel) backlog() int64 { return int64(q.bytes) }
+
+// Dequeue implements Queue: the RFC 8289 control law decides whether the
+// head packet (and possibly its successors) is transmitted, marked or
+// dropped based on how long it sat in the queue.
+func (q *CoDel) Dequeue(now sim.Time) *packet.Packet {
+	p := q.ctl.dequeue(now, q, &q.stats)
+	if p != nil {
+		q.stats.Dequeued++
+	}
+	return p
+}
+
+// SelfCheck implements SelfChecker.
+func (q *CoDel) SelfCheck() error {
+	var sum units.ByteSize
+	q.ring.forEach(func(p *packet.Packet) { sum += p.Size })
+	if sum != q.bytes {
+		return fmt.Errorf("codel: queued packets sum to %d bytes but occupancy says %d", sum, q.bytes)
+	}
+	if q.bytes < 0 || q.bytes > q.cap {
+		return fmt.Errorf("codel: occupancy %d outside [0, %d]", q.bytes, q.cap)
+	}
+	if q.doorDrops > q.stats.Dropped {
+		return fmt.Errorf("codel: doorDrops=%d exceeds total Dropped=%d", q.doorDrops, q.stats.Dropped)
+	}
+	codelDrops := q.stats.Dropped - q.doorDrops
+	if q.stats.Enqueued != q.stats.Dequeued+codelDrops+uint64(q.ring.len()) {
+		return fmt.Errorf("codel: accepted-packet imbalance: enqueued=%d != dequeued=%d + codel-dropped=%d + queued=%d",
+			q.stats.Enqueued, q.stats.Dequeued, codelDrops, q.ring.len())
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package aqm
 
 import (
+	"fmt"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -65,6 +67,23 @@ func (q *FIFO) Dequeue(now sim.Time) *packet.Packet {
 	return p
 }
 
+// SelfCheck implements SelfChecker.
+func (q *FIFO) SelfCheck() error {
+	var sum units.ByteSize
+	q.ring.forEach(func(p *packet.Packet) { sum += p.Size })
+	if sum != q.bytes {
+		return fmt.Errorf("fifo: queued packets sum to %d bytes but occupancy says %d", sum, q.bytes)
+	}
+	if q.bytes < 0 || q.bytes > q.cap {
+		return fmt.Errorf("fifo: occupancy %d outside [0, %d]", q.bytes, q.cap)
+	}
+	if q.stats.Enqueued != q.stats.Dequeued+uint64(q.ring.len()) {
+		return fmt.Errorf("fifo: accepted-packet imbalance: enqueued=%d != dequeued=%d + queued=%d",
+			q.stats.Enqueued, q.stats.Dequeued, q.ring.len())
+	}
+	return nil
+}
+
 // pktRing is a growable circular buffer of packets; it avoids the per-element
 // allocation of container/list in the hottest path of the simulator.
 type pktRing struct {
@@ -99,6 +118,13 @@ func (r *pktRing) peek() *packet.Packet {
 		return nil
 	}
 	return r.buf[r.head]
+}
+
+// forEach visits every queued packet head-to-tail without mutating the ring.
+func (r *pktRing) forEach(fn func(*packet.Packet)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[(r.head+i)%len(r.buf)])
+	}
 }
 
 func (r *pktRing) grow() {

@@ -1,6 +1,8 @@
 package aqm
 
 import (
+	"fmt"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -218,6 +220,67 @@ func (q *FQCoDel) Dequeue(now sim.Time) *packet.Packet {
 		q.stats.Dequeued++
 		return p
 	}
+}
+
+// SelfCheck implements SelfChecker: it re-derives the discipline-wide byte
+// and packet occupancy from the per-flow rings, validates each flow's own
+// byte accounting, and checks scheduler-list consistency (a backlogged flow
+// is never idle; every listed flow's state matches the list holding it;
+// no flow sits on both or either list twice).
+func (q *FQCoDel) SelfCheck() error {
+	var bytes units.ByteSize
+	npkts := 0
+	for i := range q.queues {
+		fq := &q.queues[i]
+		var fqSum int64
+		fq.ring.forEach(func(p *packet.Packet) { fqSum += int64(p.Size) })
+		if fqSum != fq.bytes {
+			return fmt.Errorf("fq_codel: flow %d packets sum to %d bytes but flow occupancy says %d", i, fqSum, fq.bytes)
+		}
+		if fq.ring.len() > 0 && fq.state == fqIdle {
+			return fmt.Errorf("fq_codel: flow %d holds %d packets but is marked idle", i, fq.ring.len())
+		}
+		bytes += units.ByteSize(fqSum)
+		npkts += fq.ring.len()
+	}
+	if bytes != q.bytes {
+		return fmt.Errorf("fq_codel: flows sum to %d bytes but discipline occupancy says %d", bytes, q.bytes)
+	}
+	if npkts != q.npkts {
+		return fmt.Errorf("fq_codel: flows hold %d packets but discipline count says %d", npkts, q.npkts)
+	}
+	if q.bytes < 0 || q.bytes > q.cap {
+		return fmt.Errorf("fq_codel: occupancy %d outside [0, %d]", q.bytes, q.cap)
+	}
+	if q.stats.Enqueued != q.stats.Dequeued+q.stats.Dropped+uint64(q.npkts) {
+		return fmt.Errorf("fq_codel: offered-packet imbalance: enqueued=%d != dequeued=%d + dropped=%d + queued=%d",
+			q.stats.Enqueued, q.stats.Dequeued, q.stats.Dropped, q.npkts)
+	}
+	seen := make(map[int]uint8, len(q.newFlows.items)+len(q.oldFlows.items))
+	for _, idx := range q.newFlows.items {
+		if idx < 0 || idx >= len(q.queues) || q.queues[idx].state != fqNew {
+			return fmt.Errorf("fq_codel: new-list entry %d has state %d, want %d", idx, q.queues[idx].state, fqNew)
+		}
+		if seen[idx] != 0 {
+			return fmt.Errorf("fq_codel: flow %d appears twice on the scheduler lists", idx)
+		}
+		seen[idx] = fqNew
+	}
+	for _, idx := range q.oldFlows.items {
+		if idx < 0 || idx >= len(q.queues) || q.queues[idx].state != fqOld {
+			return fmt.Errorf("fq_codel: old-list entry %d has state %d, want %d", idx, q.queues[idx].state, fqOld)
+		}
+		if seen[idx] != 0 {
+			return fmt.Errorf("fq_codel: flow %d appears twice on the scheduler lists", idx)
+		}
+		seen[idx] = fqOld
+	}
+	for i := range q.queues {
+		if q.queues[i].state != fqIdle && seen[i] == 0 {
+			return fmt.Errorf("fq_codel: flow %d has state %d but sits on no scheduler list", i, q.queues[i].state)
+		}
+	}
+	return nil
 }
 
 // BackloggedFlows reports how many sub-queues currently hold packets (used

@@ -35,6 +35,22 @@ type Queue interface {
 	Name() string
 }
 
+// SelfChecker is the optional deep-validation surface a discipline exposes
+// to the audit layer. SelfCheck walks the discipline's internal structures
+// (rings, flow lists, EWMA state) and returns a non-nil error when any
+// internal invariant is broken: negative or capacity-exceeding occupancy,
+// byte totals that disagree with the queued packets, counters that do not
+// balance (offered = dequeued + dropped + queued), or scheduler-list
+// corruption. It is deliberately O(queue length) — the caller (the audited
+// router port) invokes it periodically, not per packet.
+//
+// The interface lives here, not in the audit package, so aqm keeps zero
+// repo-internal dependencies and any discipline can be validated without an
+// import cycle.
+type SelfChecker interface {
+	SelfCheck() error
+}
+
 // Stats are cumulative counters every discipline maintains.
 type Stats struct {
 	Enqueued uint64 // packets accepted
@@ -57,23 +73,26 @@ func (s Stats) DropRate() float64 {
 // Kind names a queue discipline for configuration and reporting.
 type Kind string
 
-// The paper's three AQMs.
+// The paper's three AQMs, plus standalone CoDel (single queue, RFC 8289
+// law without the fair-queuing layer) for validation and ablation runs.
 const (
 	KindFIFO    Kind = "fifo"
 	KindRED     Kind = "red"
 	KindFQCoDel Kind = "fq_codel"
+	KindCoDel   Kind = "codel"
 )
 
-// Kinds returns the paper's AQM set in presentation order.
+// Kinds returns the paper's AQM set in presentation order. Standalone CoDel
+// is available by name but is not part of the paper's measurement grid.
 func Kinds() []Kind { return []Kind{KindFIFO, KindRED, KindFQCoDel} }
 
 // ParseKind validates a discipline name.
 func ParseKind(s string) (Kind, error) {
 	switch Kind(s) {
-	case KindFIFO, KindRED, KindFQCoDel:
+	case KindFIFO, KindRED, KindFQCoDel, KindCoDel:
 		return Kind(s), nil
 	}
-	return "", fmt.Errorf("aqm: unknown discipline %q (want fifo, red or fq_codel)", s)
+	return "", fmt.Errorf("aqm: unknown discipline %q (want fifo, red, fq_codel or codel)", s)
 }
 
 // Config carries the knobs shared by all disciplines plus per-discipline
@@ -86,6 +105,7 @@ type Config struct {
 
 	RED     REDParams
 	FQCoDel FQCoDelParams
+	CoDel   CoDelParams
 }
 
 // New constructs the configured discipline.
@@ -97,6 +117,8 @@ func New(cfg Config) (Queue, error) {
 		return NewRED(cfg.Capacity, cfg.ECN, cfg.RED), nil
 	case KindFQCoDel:
 		return NewFQCoDel(cfg.Capacity, cfg.ECN, cfg.FQCoDel), nil
+	case KindCoDel:
+		return NewCoDel(cfg.Capacity, cfg.ECN, cfg.CoDel), nil
 	}
 	return nil, fmt.Errorf("aqm: unknown discipline %q", cfg.Kind)
 }

@@ -1,6 +1,7 @@
 package aqm
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -204,4 +205,24 @@ func (q *RED) Dequeue(now sim.Time) *packet.Packet {
 		q.emptyAt = now
 	}
 	return p
+}
+
+// SelfCheck implements SelfChecker.
+func (q *RED) SelfCheck() error {
+	var sum units.ByteSize
+	q.ring.forEach(func(p *packet.Packet) { sum += p.Size })
+	if sum != q.bytes {
+		return fmt.Errorf("red: queued packets sum to %d bytes but occupancy says %d", sum, q.bytes)
+	}
+	if q.bytes < 0 || q.bytes > q.cap {
+		return fmt.Errorf("red: occupancy %d outside [0, %d]", q.bytes, q.cap)
+	}
+	if q.stats.Enqueued != q.stats.Dequeued+uint64(q.ring.len()) {
+		return fmt.Errorf("red: accepted-packet imbalance: enqueued=%d != dequeued=%d + queued=%d",
+			q.stats.Enqueued, q.stats.Dequeued, q.ring.len())
+	}
+	if math.IsNaN(q.avg) || math.IsInf(q.avg, 0) || q.avg < 0 {
+		return fmt.Errorf("red: EWMA queue estimate is %v", q.avg)
+	}
+	return nil
 }

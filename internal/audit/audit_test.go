@@ -1,0 +1,148 @@
+package audit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mustViolate runs fn expecting a *Violation panic and returns it.
+func mustViolate(t *testing.T, fn func()) *Violation {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		if r := recover(); r != nil {
+			t.Fatalf("panicked with %T %v, want a clean return through the outer recover", r, r)
+		}
+	}()
+	v := func() (v *Violation) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			var ok bool
+			if v, ok = r.(*Violation); !ok {
+				panic(r)
+			}
+		}()
+		fn()
+		return nil
+	}()
+	if v == nil {
+		t.Fatalf("expected a *Violation panic, got none")
+	}
+	return v
+}
+
+func TestBalancedLedgerPasses(t *testing.T) {
+	a := New("cfg-1")
+	var dropped, resident int64 = 3, 2
+	a.RegisterNet(func() NetSample { return NetSample{Name: "p1", Dropped: dropped, Resident: resident} })
+	for i := 0; i < 10; i++ {
+		a.PacketCreated()
+	}
+	for i := 0; i < 5; i++ {
+		a.PacketConsumed()
+	}
+	a.Finish() // 10 == 5 + 3 + 2
+	if a.Created() != 10 || a.Consumed() != 5 {
+		t.Fatalf("ledger counts created=%d consumed=%d, want 10/5", a.Created(), a.Consumed())
+	}
+}
+
+func TestImbalancedLedgerViolates(t *testing.T) {
+	a := New("cfg-imbalance")
+	a.RegisterNet(func() NetSample { return NetSample{Name: "p1", Dropped: 1} })
+	a.PacketCreated()
+	a.PacketCreated()
+	// created=2, consumed=0, dropped=1, resident=0 → off by 1.
+	v := mustViolate(t, a.Finish)
+	if v.Layer != "audit" || v.Rule != "packet-conservation" {
+		t.Fatalf("violation attributed to %s/%s, want audit/packet-conservation", v.Layer, v.Rule)
+	}
+	if v.ConfigID != "cfg-imbalance" {
+		t.Fatalf("violation config = %q", v.ConfigID)
+	}
+	if !strings.Contains(v.Detail, "off by 1") {
+		t.Fatalf("detail %q does not state the imbalance", v.Detail)
+	}
+}
+
+func TestViolationReportStructure(t *testing.T) {
+	a := New("the-config-id")
+	a.SetClock(func() int64 { return 1_500_000_000 }) // 1.5 s
+	a.RegisterNet(func() NetSample { return NetSample{Name: "bottleneck", Dropped: 7, Resident: 4} })
+	v := mustViolate(t, func() { a.Failf("netem", "some-rule", "detail %d", 42) })
+	msg := v.Error()
+	for _, want := range []string{
+		"audit violation",
+		"[netem/some-rule]",
+		`config="the-config-id"`,
+		"t=1.500000s",
+		"detail 42",
+		"ledger:",
+		"bottleneck",
+		"dropped=7",
+		"resident=4",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("report missing %q:\n%s", want, msg)
+		}
+	}
+	// The report must survive the runner's generic %v formatting of a
+	// recovered panic value.
+	if !strings.Contains(errors.New(v.Error()).Error(), "bottleneck") {
+		t.Fatal("report lost through error round-trip")
+	}
+}
+
+func TestOnFinishChecksRunInOrder(t *testing.T) {
+	a := New("cfg")
+	var order []string
+	a.OnFinish("sim", "first", func() error { order = append(order, "first"); return nil })
+	a.OnFinish("tcp", "second", func() error { order = append(order, "second"); return nil })
+	a.Finish()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("finish checks ran as %v", order)
+	}
+}
+
+func TestOnFinishErrorBecomesViolation(t *testing.T) {
+	a := New("cfg")
+	a.OnFinish("tcp", "seq-space", func() error { return errors.New("segment gap at 1234") })
+	v := mustViolate(t, a.Finish)
+	if v.Layer != "tcp" || v.Rule != "seq-space" {
+		t.Fatalf("violation attributed to %s/%s, want tcp/seq-space", v.Layer, v.Rule)
+	}
+	if !strings.Contains(v.Detail, "segment gap at 1234") {
+		t.Fatalf("detail %q lost the check error", v.Detail)
+	}
+}
+
+func TestCheckfOnlyFiresWhenFalse(t *testing.T) {
+	a := New("cfg")
+	a.Checkf(true, "sim", "ok", "should not fire")
+	v := mustViolate(t, func() { a.Checkf(false, "sim", "bad", "fired %s", "indeed") })
+	if v.Rule != "bad" || !strings.Contains(v.Detail, "fired indeed") {
+		t.Fatalf("unexpected violation %v", v)
+	}
+}
+
+func TestNegativeSampleViolates(t *testing.T) {
+	a := New("cfg")
+	a.RegisterNet(func() NetSample { return NetSample{Name: "p", Dropped: -1} })
+	a.PacketCreated()
+	a.PacketConsumed()
+	v := mustViolate(t, a.Finish)
+	if v.Rule != "negative-sample" {
+		t.Fatalf("rule = %s, want negative-sample", v.Rule)
+	}
+}
+
+func TestViolationIsError(t *testing.T) {
+	var err error = &Violation{Layer: "sim", Rule: "r", ConfigID: "c", Detail: "d"}
+	if !strings.Contains(err.Error(), "[sim/r]") {
+		t.Fatalf("Violation does not render as error: %v", err)
+	}
+}

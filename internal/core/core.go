@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/aqm"
+	"repro/internal/audit"
 	"repro/internal/cca"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
@@ -47,6 +48,13 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	eng := sim.NewEngine(cfg.Seed)
 	if cfg.MaxEvents > 0 || cfg.MaxWall > 0 {
 		eng.SetBudget(cfg.MaxEvents, cfg.MaxWall)
+	}
+	// Attach the auditor before building the topology: ports and endpoints
+	// discover it from the engine at construction time.
+	var aud *audit.Auditor
+	if cfg.Audit {
+		aud = audit.New(cfg.ID())
+		eng.SetAuditor(aud)
 	}
 	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
 	d, err := topo.NewDumbbell(eng, topo.Config{
@@ -126,6 +134,11 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 		return experiment.Result{Config: cfg, Error: werr.Error(), Events: eng.Executed(),
 				Wall: time.Since(start)},
 			fmt.Errorf("core: %s: %w", cfg.ID(), werr)
+	}
+	if aud != nil {
+		// Settle the conservation ledger; a violation panics with its
+		// structured report for the caller (CLI or runner) to surface.
+		aud.Finish()
 	}
 
 	res := experiment.Result{

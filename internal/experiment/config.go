@@ -102,6 +102,12 @@ type Config struct {
 	// MaxWall aborts the run after this much real time (0 = unlimited), a
 	// machine-dependent safety net; aborted runs come back as errors.
 	MaxWall time.Duration `json:"max_wall_ns,omitempty"`
+	// Audit arms the runtime invariant auditor for the run: packet
+	// conservation, queue accounting, TCP sequence-space sanity and engine
+	// checks, with violations surfacing as errored results. Auditing
+	// observes but never alters the simulation, so — like the watchdog
+	// budgets — it is not part of the configuration's identity (ID).
+	Audit bool `json:"audit,omitempty"`
 }
 
 // Normalize fills defaults, returning the effective configuration.

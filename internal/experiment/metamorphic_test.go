@@ -1,0 +1,165 @@
+// Metamorphic validation: relations that must hold between runs whose
+// configurations differ in a controlled way. Unlike the point assertions in
+// the paper-shape tests, these catch bugs with no oracle — if permuting the
+// seed order, widening the worker pool, or scaling bandwidth and duration
+// together changes what should be invariant, some piece of state is leaking
+// between runs or some quantity is not scaling the way the model claims.
+// Every run here executes under the invariant auditor, so each relation is
+// checked on top of a conservation-clean simulation.
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/faults"
+	"repro/internal/units"
+)
+
+// TestMetamorphicSeedPermutation: running the same seed set in three
+// different orders must produce identical per-seed results — and every run
+// stays audit-clean. Order sensitivity would mean hidden shared state
+// (a package-level RNG, a reused pool) bleeding across runs.
+func TestMetamorphicSeedPermutation(t *testing.T) {
+	mk := func(seed uint64) Config {
+		c := auditedCfg(Pairing{cca.BBRv1, cca.Cubic}, aqm.KindRED, seed, 2*time.Second)
+		c.Faults = &faults.Profile{
+			GE: &faults.GilbertElliott{PGoodBad: 0.01, PBadGood: 0.2, LossBad: 0.5},
+		}
+		return c
+	}
+	orders := [][]uint64{
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+		{3, 1, 5, 2, 4},
+	}
+	bySeed := make([]map[uint64][]byte, len(orders))
+	for oi, order := range orders {
+		cfgs := make([]Config, len(order))
+		for i, s := range order {
+			cfgs[i] = mk(s)
+		}
+		results, err := RunAll(cfgs, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySeed[oi] = make(map[uint64][]byte)
+		for i, r := range results {
+			if r.Errored() {
+				t.Fatalf("order %d seed %d errored: %s", oi, order[i], r.Error)
+			}
+			stripWall(&r)
+			j, _ := json.Marshal(r)
+			bySeed[oi][order[i]] = j
+		}
+	}
+	for seed, want := range bySeed[0] {
+		for oi := 1; oi < len(orders); oi++ {
+			if !bytes.Equal(want, bySeed[oi][seed]) {
+				t.Fatalf("seed %d result depends on run order:\n%s\n%s", seed, want, bySeed[oi][seed])
+			}
+		}
+	}
+}
+
+// TestMetamorphicBandwidthScaling: doubling the bottleneck bandwidth while
+// doubling nothing else the workload depends on (flows and duration pinned)
+// must leave utilization in the same regime — two long-running elephants
+// keep a pipe of either size full, so φ may not collapse or exceed 1. The
+// relation is deliberately loose (±0.15): it is a scaling sanity check, not
+// a throughput regression test.
+func TestMetamorphicBandwidthScaling(t *testing.T) {
+	run := func(bw units.Bandwidth) Result {
+		cfg := Config{
+			Pairing:        Pairing{cca.Cubic, cca.Cubic},
+			AQM:            aqm.KindFIFO,
+			QueueBDP:       2,
+			Bottleneck:     bw,
+			Duration:       6 * time.Second, // pinned: defaults scale with bw
+			FlowsPerSender: 1,               // pinned for the same reason
+			Seed:           1,
+			Audit:          true,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(100 * units.MegabitPerSec)
+	doubled := run(200 * units.MegabitPerSec)
+	if base.Utilization < 0.5 || doubled.Utilization < 0.5 {
+		t.Fatalf("elephants failed to fill the pipe: φ=%.3f at 100M, φ=%.3f at 200M",
+			base.Utilization, doubled.Utilization)
+	}
+	if d := math.Abs(base.Utilization - doubled.Utilization); d > 0.15 {
+		t.Fatalf("utilization shifted %.3f across a bandwidth doubling (%.3f → %.3f)",
+			d, base.Utilization, doubled.Utilization)
+	}
+	if base.Utilization > 1.001 || doubled.Utilization > 1.001 {
+		t.Fatalf("utilization exceeds capacity: %.3f / %.3f", base.Utilization, doubled.Utilization)
+	}
+}
+
+// TestMetamorphicWorkerWidthUnderAudit re-asserts worker-count independence
+// with the auditor on: pool width is scheduling, not simulation, so results
+// must be byte-identical at 1 and 4 workers even while every run carries
+// the extra audit bookkeeping.
+func TestMetamorphicWorkerWidthUnderAudit(t *testing.T) {
+	profile := &faults.Profile{
+		GE:    &faults.GilbertElliott{PGoodBad: 0.01, PBadGood: 0.2, LossBad: 0.5},
+		Flaps: []faults.Flap{{At: time.Second, Down: 100 * time.Millisecond}},
+	}
+	cfgs := make([]Config, 4)
+	for i := range cfgs {
+		cfgs[i] = auditedCfg(Pairing{cca.Cubic, cca.BBRv1}, aqm.KindFQCoDel, uint64(i+1), 2*time.Second)
+		cfgs[i].Faults = profile
+	}
+	serial, err := RunAll(cfgs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunAll(cfgs, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if serial[i].Errored() || wide[i].Errored() {
+			t.Fatalf("config %d errored under audit: %q / %q", i, serial[i].Error, wide[i].Error)
+		}
+		stripWall(&serial[i], &wide[i])
+		js, _ := json.Marshal(serial[i])
+		jw, _ := json.Marshal(wide[i])
+		if !bytes.Equal(js, jw) {
+			t.Fatalf("config %d: workers=1 vs workers=4 diverged under audit:\n%s\n%s", i, js, jw)
+		}
+	}
+}
+
+// TestMetamorphicReplayUnderAudit: an audited run replayed from the same
+// config is byte-identical — determinism survives the observer.
+func TestMetamorphicReplayUnderAudit(t *testing.T) {
+	cfg := auditedCfg(Pairing{cca.BBRv2, cca.Reno}, aqm.KindCoDel, 9, 3*time.Second)
+	cfg.Faults = &faults.Profile{
+		Flaps: []faults.Flap{{At: time.Second, Down: 150 * time.Millisecond}},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(&a, &b)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("audited replay diverged:\n%s\n%s", ja, jb)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/aqm"
+	"repro/internal/audit"
 	"repro/internal/cca"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -75,6 +76,13 @@ func Run(cfg Config) (Result, error) {
 	if cfg.MaxEvents > 0 || cfg.MaxWall > 0 {
 		eng.SetBudget(cfg.MaxEvents, cfg.MaxWall)
 	}
+	// The auditor must be attached before the topology is built: ports and
+	// endpoints discover it from the engine at construction time.
+	var aud *audit.Auditor
+	if cfg.Audit {
+		aud = audit.New(cfg.ID())
+		eng.SetAuditor(aud)
+	}
 	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
 	d, err := topo.NewDumbbell(eng, topo.Config{
 		BottleneckBW: cfg.Bottleneck,
@@ -112,6 +120,12 @@ func Run(cfg Config) (Result, error) {
 		return Result{Config: cfg, Error: werr.Error(), Events: eng.Executed(),
 				Wall: time.Since(start)},
 			fmt.Errorf("experiment %s: %w", cfg.ID(), werr)
+	}
+	if aud != nil {
+		// Settle the conservation ledger and run every registered end-of-run
+		// check. A violation panics with its structured report; the sweep
+		// runner's recovery turns that into an errored Result.
+		aud.Finish()
 	}
 
 	res := Result{

@@ -118,6 +118,18 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		f.Close()
 		return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
 	}
+	// Heal a torn final line (a crash mid-append leaves no trailing
+	// newline): terminate it now, or the next Append would fuse with the
+	// torn fragment and corrupt a fresh result too.
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
+			}
+		}
+	}
 	return c, nil
 }
 

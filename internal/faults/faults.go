@@ -80,7 +80,7 @@ func (p *Profile) Empty() bool {
 }
 
 func clamp01(v float64) float64 {
-	if v < 0 {
+	if !(v > 0) { // negatives and NaN (strconv accepts "NaN") both clamp to 0
 		return 0
 	}
 	if v > 1 {
@@ -222,7 +222,9 @@ func Apply(eng *sim.Engine, po *netem.Port, p *Profile) {
 // Parse builds a profile from a CLI spec. Three forms are accepted:
 //
 //   - "@path" — read a JSON Profile from a file
+//
 //   - "{...}" — an inline JSON Profile
+//
 //   - preset list — "+"-separated presets, each "name" or
 //     "name:key=value,key=value". Presets and their keys (defaults in
 //     parentheses):

@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzFaultsParse throws arbitrary specs at the profile parser. A spec may
+// be rejected, but an accepted one must yield a profile whose normal form
+// is a fixed point (Normalize idempotent), whose probabilities are finite
+// and in [0, 1], whose timelines are sorted with no no-op entries, and
+// whose identity survives a JSON round trip — the properties the sweep's
+// checkpoint identity and the fault applier rely on.
+func FuzzFaultsParse(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"flap",
+		"ge",
+		"flap+ge+bwstep+rttstep",
+		"ge:pgb=0.01,bad=1+flap:at=10s,down=500ms",
+		"bwstep:rate=50Mbps+rttstep:factor=2",
+		"bwstep:at=3s,factor=0.25",
+		"rttstep:at=1s,delay=31ms",
+		"flap:at=-5s,down=1ms",
+		"ge:pgb=2,bad=-1",
+		"ge:pgb=NaN,bad=Inf",
+		`{"flaps":[{"at_ns":1000000,"down_ns":2000000}]}`,
+		`{"ge":{"p_good_bad":0.5,"loss_bad":1}}`,
+		"{",
+		"bogus",
+		"flap:at",
+		"flap:=,=",
+		"+",
+		"flap:down=99999h",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if strings.HasPrefix(strings.TrimSpace(spec), "@") {
+			t.Skip("file specs read the filesystem")
+		}
+		p, err := Parse(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Parse(%q) returned both a profile and %v", spec, err)
+			}
+			return
+		}
+		if p == nil {
+			return // blank spec
+		}
+		n := p.Normalize()
+		if again := n.Normalize(); !reflect.DeepEqual(n, again) {
+			t.Fatalf("Normalize not idempotent for %q:\n%+v\n%+v", spec, n, again)
+		}
+		if n.GE != nil {
+			for _, v := range []float64{n.GE.PGoodBad, n.GE.PBadGood, n.GE.LossGood, n.GE.LossBad} {
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					t.Fatalf("Parse(%q): GE probability %v escaped clamping", spec, v)
+				}
+			}
+		}
+		for i, fl := range n.Flaps {
+			if fl.At < 0 || fl.Down <= 0 {
+				t.Fatalf("Parse(%q): no-op flap survived normalization: %+v", spec, fl)
+			}
+			if i > 0 && fl.At < n.Flaps[i-1].At {
+				t.Fatalf("Parse(%q): flap timeline unsorted", spec)
+			}
+		}
+		for i, s := range n.BWSteps {
+			if s.At < 0 || (s.Rate <= 0 && s.Factor <= 0) {
+				t.Fatalf("Parse(%q): no-op bw step survived: %+v", spec, s)
+			}
+			if i > 0 && s.At < n.BWSteps[i-1].At {
+				t.Fatalf("Parse(%q): bw timeline unsorted", spec)
+			}
+		}
+		for i, s := range n.RTTSteps {
+			if s.At < 0 || (s.Delay <= 0 && s.Factor <= 0) {
+				t.Fatalf("Parse(%q): no-op rtt step survived: %+v", spec, s)
+			}
+			if i > 0 && s.At < n.RTTSteps[i-1].At {
+				t.Fatalf("Parse(%q): rtt timeline unsorted", spec)
+			}
+		}
+		if p.ID() != n.ID() {
+			t.Fatalf("Parse(%q): identity changes under normalization: %q vs %q", spec, p.ID(), n.ID())
+		}
+		// A profile must survive serialization with its identity intact —
+		// this is how profiles travel inside checkpointed configs.
+		data, jerr := json.Marshal(&n)
+		if jerr != nil {
+			t.Fatalf("Parse(%q): profile does not marshal: %v", spec, jerr)
+		}
+		rt, rerr := Parse(string(data))
+		if rerr != nil {
+			t.Fatalf("Parse(%q): round trip rejected %s: %v", spec, data, rerr)
+		}
+		if rt.ID() != p.ID() {
+			t.Fatalf("Parse(%q): identity lost in JSON round trip: %q vs %q", spec, p.ID(), rt.ID())
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/audit"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// auditedPort builds an engine+auditor+port fixture: a 10 Mbps bottleneck
+// with the given discipline at 60 KB, delivering into an audited sink.
+func auditedPort(t *testing.T, kind aqm.Kind) (*sim.Engine, *audit.Auditor, *Port, *Sink) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	aud := audit.New("netem-audit-" + string(kind))
+	eng.SetAuditor(aud)
+	q, err := aqm.New(aqm.Config{Kind: kind, Capacity: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &Sink{Auditor: aud}
+	po := NewPort(eng, "bneck", 10*units.MegabitPerSec, time.Millisecond, q, sink)
+	return eng, aud, po, sink
+}
+
+// overdrive injects 1000-byte packets every 500 µs (≈16 Mbps offered on the
+// 10 Mbps link) until stopAt, reporting each to the conservation ledger. It
+// returns a pointer to the injected count, final after the run.
+func overdrive(eng *sim.Engine, aud *audit.Auditor, po *Port, stopAt time.Duration) *uint64 {
+	injected := new(uint64)
+	var inject func()
+	inject = func() {
+		if eng.Now() >= sim.Duration(stopAt) {
+			return
+		}
+		aud.PacketCreated()
+		*injected++
+		po.Send(data(1000))
+		eng.Schedule(500*time.Microsecond, inject)
+	}
+	eng.Schedule(0, inject)
+	return injected
+}
+
+// TestDropAccountingAllAQMs drives every discipline (FIFO, RED, CoDel,
+// FQ-CoDel) past saturation under bursty Gilbert–Elliott loss and a link
+// flap that lands mid-queue-drain, then asserts exact packet conservation
+// from the production counters alone:
+//
+//	delivered + AQM drops + loss drops + flap drops == injected
+//
+// and that the invariant auditor agrees (Finish settles clean).
+func TestDropAccountingAllAQMs(t *testing.T) {
+	for _, kind := range []aqm.Kind{aqm.KindFIFO, aqm.KindRED, aqm.KindCoDel, aqm.KindFQCoDel} {
+		t.Run(string(kind), func(t *testing.T) {
+			eng, aud, po, sink := auditedPort(t, kind)
+			po.SetGELoss(0.02, 0.3, 0, 0.5)
+			injected := overdrive(eng, aud, po, 400*time.Millisecond)
+
+			// Flap the carrier while the queue is backlogged: the drain on
+			// SetDown(true) destroys mid-queue packets, and arrivals during
+			// the outage are door-dropped.
+			eng.Schedule(150*time.Millisecond, func() { po.SetDown(true) })
+			eng.Schedule(170*time.Millisecond, func() { po.SetDown(false) })
+
+			eng.RunFor(2 * time.Second) // drain completely
+
+			qs := po.Queue().Stats()
+			if po.Queue().Len() != 0 {
+				t.Fatalf("queue still holds %d packets after drain", po.Queue().Len())
+			}
+			accounted := sink.Packets + qs.Dropped + po.LossDrops() + po.DownDrops()
+			if accounted != *injected {
+				t.Fatalf("conservation: delivered=%d + aqm=%d + loss=%d + flap=%d = %d, injected %d",
+					sink.Packets, qs.Dropped, po.LossDrops(), po.DownDrops(), accounted, *injected)
+			}
+			// The scenario must actually exercise every drop class.
+			if qs.Dropped == 0 {
+				t.Errorf("%s produced no AQM drops at 1.6x overload", kind)
+			}
+			if po.LossDrops() == 0 {
+				t.Error("GE chain dropped nothing")
+			}
+			if po.DownDrops() == 0 {
+				t.Error("flap mid-drain destroyed nothing")
+			}
+			aud.Finish() // must settle clean
+		})
+	}
+}
+
+// TestAuditorCatchesSeededDownDropBug seeds a real accounting bug — a flap
+// drain that destroys queued packets without incrementing downDrops — and
+// proves the auditor catches it with a structured violation naming the rule
+// and carrying a counter snapshot. This is the auditor's reason to exist:
+// without it, the bug would silently surface as a too-good loss figure.
+func TestAuditorCatchesSeededDownDropBug(t *testing.T) {
+	testHookSkipDownDropAccounting = true
+	defer func() { testHookSkipDownDropAccounting = false }()
+
+	eng, aud, po, _ := auditedPort(t, aqm.KindFIFO)
+	injected := overdrive(eng, aud, po, 200*time.Millisecond)
+	eng.Schedule(100*time.Millisecond, func() { po.SetDown(true) })
+	eng.Schedule(120*time.Millisecond, func() { po.SetDown(false) })
+	eng.RunFor(time.Second)
+	if *injected == 0 {
+		t.Fatal("nothing injected")
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("auditor did not catch the uncounted flap drain")
+		}
+		v, ok := r.(*audit.Violation)
+		if !ok {
+			t.Fatalf("panic value is %T, want *audit.Violation", r)
+		}
+		if v.Layer != "netem" || v.Rule != "port-conservation" {
+			t.Fatalf("violation attributed to %s/%s, want netem/port-conservation", v.Layer, v.Rule)
+		}
+		msg := v.Error()
+		for _, want := range []string{"audit violation", "port bneck", "offered=", "flap-dropped=", "ledger:"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("structured report missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	aud.Finish()
+}
+
+// TestPortConservationDirect checks the audited port balances on a clean
+// unsaturated run too (no drops of any kind, packets fully delivered).
+func TestPortConservationDirect(t *testing.T) {
+	eng := sim.NewEngine(1)
+	aud := audit.New("clean")
+	eng.SetAuditor(aud)
+	sink := &Sink{Auditor: aud}
+	po := NewPort(eng, "p", units.GigabitPerSec, 5*time.Millisecond, aqm.NewFIFO(1<<30), sink)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		aud.PacketCreated()
+		po.Send(data(1000))
+	}
+	eng.Run()
+	if sink.Packets != n {
+		t.Fatalf("delivered %d of %d", sink.Packets, n)
+	}
+	aud.Finish()
+}
+
+// TestAuditedChainConservation pushes packets through two chained audited
+// ports into an audited sink — the ledger must balance across hops (each
+// hop's handoff is the next hop's offered load).
+func TestAuditedChainConservation(t *testing.T) {
+	eng := sim.NewEngine(7)
+	aud := audit.New("chain")
+	eng.SetAuditor(aud)
+	sink := &Sink{Auditor: aud}
+	p2 := NewPort(eng, "hop2", 50*units.MegabitPerSec, 2*time.Millisecond, aqm.NewFIFO(40_000), sink)
+	p1 := NewPort(eng, "hop1", 100*units.MegabitPerSec, time.Millisecond, aqm.NewFIFO(1<<30), p2)
+	p2.SetLoss(0.05)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		aud.PacketCreated()
+		p1.Send(data(1200))
+	}
+	eng.Run()
+	drops2 := p2.Queue().Stats().Dropped + p2.LossDrops()
+	if sink.Packets+drops2 != n {
+		t.Fatalf("chain conservation: %d delivered + %d dropped != %d", sink.Packets, drops2, n)
+	}
+	aud.Finish()
+}

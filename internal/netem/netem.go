@@ -6,13 +6,21 @@
 package netem
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/aqm"
+	"repro/internal/audit"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
+
+// testHookSkipDownDropAccounting deliberately omits the downDrops increment
+// when a flap drains the egress queue. It exists only so the audit test
+// suite can prove the invariant auditor catches a real accounting bug (a
+// drop that is destroyed but never counted); it is never set in production.
+var testHookSkipDownDropAccounting bool
 
 // Receiver consumes packets at the end of a link: another Port, or a
 // protocol endpoint.
@@ -73,6 +81,20 @@ type Port struct {
 	// start) — the direct evidence of bufferbloat the paper reasons about.
 	sojournSum sim.Time
 	sojournMax sim.Time
+
+	// Invariant auditing (nil = disabled; picked up from the engine at
+	// construction). The aud* counters are the auditor's independent view of
+	// the port: at end of run they must reconcile with the production
+	// counters (queue stats, lossDrops, downDrops) — an uncounted drop or a
+	// leaked packet breaks the equation. Each hot-path touch is gated on one
+	// nil check so a disabled port pays a branch, not an allocation.
+	aud            *audit.Auditor
+	audOffered     uint64 // packets entering Send
+	audQueueOps    uint64 // queue operations since the last deep SelfCheck
+	audQueueOffer  uint64 // Enqueue calls on the queue
+	audInFlight    uint64 // packets serializing or propagating
+	audDelivered   uint64 // packets handed to dst (or consumed at a nil dst)
+	audSelfChecker aqm.SelfChecker
 }
 
 // SojournStats summarizes the queueing delay seen by transmitted packets.
@@ -101,7 +123,84 @@ func NewPort(eng *sim.Engine, name string, rate units.Bandwidth, delay time.Dura
 	po := &Port{Name: name, eng: eng, rate: rate, delay: delay, queue: queue, dst: dst}
 	po.txDoneH.po = po
 	po.deliverH.po = po
+	if a := eng.Auditor(); a != nil {
+		po.aud = a
+		po.audSelfChecker, _ = queue.(aqm.SelfChecker)
+		a.RegisterNet(po.auditSample)
+		a.OnFinish("netem", "port-conservation", po.auditFinish)
+	}
 	return po
+}
+
+// auditSample reports this port's contribution to the global conservation
+// ledger using its production counters: destroyed = AQM drops + injected
+// loss + flap destruction; resident = queued + serializing/propagating.
+func (po *Port) auditSample() audit.NetSample {
+	qs := po.queue.Stats()
+	return audit.NetSample{
+		Name:     po.Name,
+		Dropped:  int64(qs.Dropped + po.lossDrops + po.downDrops),
+		Resident: int64(uint64(po.queue.Len()) + po.audInFlight),
+	}
+}
+
+// auditFinish settles the per-port books at end of run: every packet
+// offered to the port must be accounted by exactly one production drop
+// counter, still be resident, or have been handed to the next element.
+// Because the drop side is the production counters, a skipped increment
+// (for example a flap drain that destroys a packet without counting it)
+// shows up as an imbalance here.
+func (po *Port) auditFinish() error {
+	qs := po.queue.Stats()
+	accounted := qs.Dropped + po.lossDrops + po.downDrops +
+		uint64(po.queue.Len()) + po.audInFlight + po.audDelivered
+	if po.audOffered != accounted {
+		return fmt.Errorf(
+			"port %s: offered=%d != aqm-dropped=%d + loss-dropped=%d + flap-dropped=%d + queued=%d + in-flight=%d + delivered=%d (off by %d)",
+			po.Name, po.audOffered, qs.Dropped, po.lossDrops, po.downDrops,
+			po.queue.Len(), po.audInFlight, po.audDelivered,
+			int64(po.audOffered)-int64(accounted))
+	}
+	if po.audSelfChecker != nil {
+		if err := po.audSelfChecker.SelfCheck(); err != nil {
+			return fmt.Errorf("port %s: %w", po.Name, err)
+		}
+	}
+	return nil
+}
+
+// auditSelfCheckEvery is how many queue operations pass between O(queue)
+// deep SelfCheck walks on an audited port. The cheap per-op checks
+// (occupancy bounds, counter balance) still run on every operation.
+const auditSelfCheckEvery = 512
+
+// auditQueueOp validates the queue after one Enqueue/Dequeue on an audited
+// port: occupancy within [0, capacity], and the universal discipline
+// balance offered = dequeued + dropped + queued (which holds for all four
+// AQMs despite their differing Enqueued semantics). Every
+// auditSelfCheckEvery ops it also runs the discipline's own deep walk.
+func (po *Port) auditQueueOp() {
+	q := po.queue
+	if b := q.Bytes(); b < 0 || b > q.Capacity() {
+		po.aud.Failf("aqm", "occupancy-bounds",
+			"port %s: queue %s holds %d bytes, capacity %d", po.Name, q.Name(), b, q.Capacity())
+	}
+	if n := q.Len(); n < 0 {
+		po.aud.Failf("aqm", "occupancy-bounds",
+			"port %s: queue %s reports negative length %d", po.Name, q.Name(), n)
+	}
+	qs := q.Stats()
+	if acc := qs.Dequeued + qs.Dropped + uint64(q.Len()); po.audQueueOffer != acc {
+		po.aud.Failf("aqm", "counter-balance",
+			"port %s: queue %s offered=%d != dequeued=%d + dropped=%d + queued=%d",
+			po.Name, q.Name(), po.audQueueOffer, qs.Dequeued, qs.Dropped, q.Len())
+	}
+	po.audQueueOps++
+	if po.audSelfChecker != nil && po.audQueueOps%auditSelfCheckEvery == 0 {
+		if err := po.audSelfChecker.SelfCheck(); err != nil {
+			po.aud.Failf("aqm", "self-check", "port %s: %v", po.Name, err)
+		}
+	}
 }
 
 // Queue exposes the port's queue (for telemetry and tests).
@@ -256,8 +355,13 @@ func (po *Port) SetDown(down bool) {
 			if p == nil {
 				break
 			}
-			po.downDrops++
+			if !testHookSkipDownDropAccounting {
+				po.downDrops++
+			}
 			packet.Release(p)
+		}
+		if po.aud != nil {
+			po.auditQueueOp()
 		}
 		return
 	}
@@ -281,14 +385,26 @@ func (po *Port) Receive(now sim.Time, p *packet.Packet) { po.Send(p) }
 
 // Send offers a packet to the egress queue and kicks the transmitter.
 func (po *Port) Send(p *packet.Packet) {
+	if po.aud != nil {
+		po.audOffered++
+	}
 	if po.down {
 		po.downDrops++
 		packet.Release(p)
 		return
 	}
 	now := po.eng.Now()
+	if po.aud != nil {
+		po.audQueueOffer++
+	}
 	if !po.queue.Enqueue(now, p) {
+		if po.aud != nil {
+			po.auditQueueOp()
+		}
 		return // queue dropped (and released) it
+	}
+	if po.aud != nil {
+		po.auditQueueOp()
 	}
 	if !po.busy {
 		po.transmitNext()
@@ -301,6 +417,12 @@ func (po *Port) Send(p *packet.Packet) {
 func (po *Port) transmitNext() {
 	now := po.eng.Now()
 	p := po.queue.Dequeue(now)
+	if po.aud != nil {
+		po.auditQueueOp()
+		if p != nil {
+			po.audInFlight++
+		}
+	}
 	if p == nil {
 		po.busy = false
 		return
@@ -330,16 +452,32 @@ func (h *portTxDone) OnEvent(arg any) {
 	po.txBytes += p.Size
 	switch {
 	case po.dst == nil:
+		// No next element: the port itself is the packet's terminus, so it
+		// reports the consumption to keep the global ledger balanced.
+		if po.aud != nil {
+			po.audInFlight--
+			po.audDelivered++
+			po.aud.PacketConsumed()
+		}
 		packet.Release(p)
 	case po.down:
 		// Carrier dropped while the packet was serializing.
 		po.downDrops++
+		if po.aud != nil {
+			po.audInFlight--
+		}
 		packet.Release(p)
 	case po.ge.enabled && po.ge.step(po.rng):
 		po.lossDrops++
+		if po.aud != nil {
+			po.audInFlight--
+		}
 		packet.Release(p)
 	case po.lossRate > 0 && po.rng.Float64() < po.lossRate:
 		po.lossDrops++
+		if po.aud != nil {
+			po.audInFlight--
+		}
 		packet.Release(p)
 	default:
 		delay := po.delay
@@ -355,6 +493,10 @@ func (h *portTxDone) OnEvent(arg any) {
 		if at > now {
 			po.eng.ScheduleHandlerAt(at, &po.deliverH, p)
 		} else {
+			if po.aud != nil {
+				po.audInFlight--
+				po.audDelivered++
+			}
 			po.dst.Receive(now, p)
 		}
 	}
@@ -368,6 +510,10 @@ type portDeliver struct{ po *Port }
 func (h *portDeliver) OnEvent(arg any) {
 	po := h.po
 	p := arg.(*packet.Packet)
+	if po.aud != nil {
+		po.audInFlight--
+		po.audDelivered++
+	}
 	po.dst.Receive(po.eng.Now(), p)
 }
 
@@ -398,11 +544,13 @@ func (pa *Path) Inject(now sim.Time, p *packet.Packet) {
 }
 
 // Sink counts and releases everything it receives; useful in tests and as a
-// drop target.
+// drop target. When Auditor is set, each received packet is reported as
+// terminally consumed for the conservation ledger.
 type Sink struct {
 	Packets uint64
 	Bytes   units.ByteSize
 	LastAt  sim.Time
+	Auditor *audit.Auditor
 }
 
 // Receive implements Receiver.
@@ -410,5 +558,8 @@ func (s *Sink) Receive(now sim.Time, p *packet.Packet) {
 	s.Packets++
 	s.Bytes += p.Size
 	s.LastAt = now
+	if s.Auditor != nil {
+		s.Auditor.PacketConsumed()
+	}
 	packet.Release(p)
 }

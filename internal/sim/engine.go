@@ -39,6 +39,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"repro/internal/audit"
 )
 
 // Time is a simulation timestamp in nanoseconds since the start of the run.
@@ -162,6 +164,12 @@ type Engine struct {
 
 	// Stats.
 	executed uint64
+
+	// aud, when non-nil, validates scheduler invariants (time monotonicity,
+	// event-pool hygiene, end-of-run quiescence). Every hot-path check is
+	// gated on a single nil test so a disabled engine pays one predictable
+	// branch and zero allocations.
+	aud *audit.Auditor
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic RNG
@@ -185,6 +193,30 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // FreeEvents returns the size of the pooled-event free list (telemetry and
 // pool-reuse tests).
 func (e *Engine) FreeEvents() int { return len(e.free) }
+
+// SetAuditor attaches (or, with nil, detaches) a runtime invariant auditor.
+// The engine becomes the auditor's simulation clock and registers its
+// end-of-run quiescence check: after a run, no queued event may be earlier
+// than the clock — such an event was due but never dispatched. Components
+// built on this engine discover the auditor via Auditor at construction.
+func (e *Engine) SetAuditor(a *audit.Auditor) {
+	e.aud = a
+	if a == nil {
+		return
+	}
+	a.SetClock(func() int64 { return int64(e.now) })
+	a.OnFinish("sim", "quiescence", func() error {
+		if len(e.queue) > 0 && e.queue[0].at < e.now {
+			return fmt.Errorf("event due at %v still queued after run ended at %v (%d pending)",
+				e.queue[0].at, e.now, len(e.queue))
+		}
+		return nil
+	})
+}
+
+// Auditor returns the attached invariant auditor, or nil when auditing is
+// disabled.
+func (e *Engine) Auditor() *audit.Auditor { return e.aud }
 
 // Schedule queues fn to run after delay. A negative delay is clamped to zero
 // (runs at the current time, after already-queued same-time events). The
@@ -230,6 +262,10 @@ func (e *Engine) ScheduleHandlerAt(at Time, h Handler, arg any) {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		if e.aud != nil && (ev.pooled || ev.idx >= 0 || ev.h != nil) {
+			e.aud.Failf("sim", "pool-corrupt",
+				"free-list event not zeroed: pooled=%v idx=%d handler=%v", ev.pooled, ev.idx, ev.h != nil)
+		}
 	} else {
 		ev = &Event{eng: e}
 	}
@@ -244,6 +280,16 @@ func (e *Engine) ScheduleHandlerAt(at Time, h Handler, arg any) {
 
 // release zeroes a pooled event and returns it to the free list.
 func (e *Engine) release(ev *Event) {
+	if e.aud != nil {
+		if !ev.pooled {
+			e.aud.Failf("sim", "pool-double-free",
+				"release of a non-pooled or already-released event (at=%v)", ev.at)
+		}
+		if ev.idx >= 0 {
+			e.aud.Failf("sim", "pool-release-queued",
+				"release of an event still queued at heap index %d (at=%v)", ev.idx, ev.at)
+		}
+	}
 	*ev = Event{eng: e, idx: -1}
 	e.free = append(e.free, ev)
 }
@@ -306,6 +352,10 @@ func (e *Engine) RunUntil(end Time) {
 		next := e.queue[0]
 		if next.at > end {
 			break
+		}
+		if e.aud != nil && next.at < e.now {
+			e.aud.Failf("sim", "time-monotone",
+				"heap head due at %v is earlier than the clock %v", next.at, e.now)
 		}
 		heap.Pop(&e.queue)
 		e.now = next.at

@@ -1,9 +1,11 @@
 package tcp
 
 import (
+	"fmt"
 	"math"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -108,6 +110,11 @@ type Conn struct {
 	stats   Stats
 	started bool
 	stopped bool
+
+	// aud, when non-nil, validates sequence-space sanity: it checks cheap
+	// per-ACK rules inline, walks the whole segment list every
+	// auditDeepCheckEvery ACKs, and re-walks it at end of run.
+	aud *audit.Auditor
 }
 
 // NewConn creates a sender for flow id that injects data packets via inject
@@ -126,8 +133,57 @@ func NewConn(eng *sim.Engine, id packet.FlowID, cfg Config, cc CongestionControl
 	c.cwnd = int64(cfg.InitialCwnd) * int64(cfg.MSS)
 	c.rtoTimer.Init(eng, c, timerRTO)
 	c.paceTimer.Init(eng, c, timerPace)
+	if a := eng.Auditor(); a != nil {
+		c.aud = a
+		a.OnFinish("tcp", "seq-space", c.auditSeqSpace)
+	}
 	cc.Init(c)
 	return c
+}
+
+// auditDeepCheckEvery is how many ACKs pass between O(outstanding) segment
+// list walks on an audited connection.
+const auditDeepCheckEvery = 64
+
+// auditSeqSpace walks the outstanding segment list and checks the sender's
+// sequence-space invariants: segments contiguous and sorted, the list
+// spanning exactly [sndUna, sndNxt), and the inflight byte count derived
+// from segment flags (not lost, not sacked) matching the count the
+// congestion controller sees.
+func (c *Conn) auditSeqSpace() error {
+	n := c.segs.len()
+	if n == 0 {
+		if c.inflight != 0 {
+			return fmt.Errorf("conn %d: no outstanding segments but inflight=%d", c.id, c.inflight)
+		}
+		return nil
+	}
+	var liveBytes int64
+	for i := 0; i < n; i++ {
+		s := c.segs.at(i)
+		if i+1 < n {
+			if next := c.segs.at(i + 1); s.seq+s.len != next.seq {
+				return fmt.Errorf("conn %d: segment list not contiguous: [%d..%d) then [%d..%d)",
+					c.id, s.seq, s.seq+s.len, next.seq, next.seq+next.len)
+			}
+		}
+		if !s.lost && !s.sacked {
+			liveBytes += s.len
+		}
+	}
+	front, last := c.segs.front(), c.segs.at(n-1)
+	if front.seq > c.sndUna || front.seq+front.len <= c.sndUna {
+		return fmt.Errorf("conn %d: first outstanding segment [%d..%d) does not contain sndUna=%d",
+			c.id, front.seq, front.seq+front.len, c.sndUna)
+	}
+	if end := last.seq + last.len; end != c.sndNxt {
+		return fmt.Errorf("conn %d: last outstanding segment ends at %d, sndNxt=%d", c.id, end, c.sndNxt)
+	}
+	if liveBytes != c.inflight {
+		return fmt.Errorf("conn %d: segment list implies %d bytes in flight, controller sees %d",
+			c.id, liveBytes, c.inflight)
+	}
+	return nil
 }
 
 // timerID distinguishes the connection's persistent timers in OnEvent.
@@ -354,6 +410,14 @@ func (c *Conn) armPacing() {
 // transmit puts one segment on the wire.
 func (c *Conn) transmit(s *seg) {
 	now := c.eng.Now()
+	if c.aud != nil {
+		if s.sacked {
+			c.aud.Failf("tcp", "retransmit-sacked",
+				"conn %d: retransmitting segment [%d..%d) already selectively acknowledged",
+				c.id, s.seq, s.seq+s.len)
+		}
+		c.aud.PacketCreated()
+	}
 	s.lastSentAt = now
 	s.sentCount++
 
@@ -402,6 +466,16 @@ func (c *Conn) transmit(s *seg) {
 
 // Receive implements netem.Receiver for the ACK return path.
 func (c *Conn) Receive(now sim.Time, p *packet.Packet) {
+	if c.aud != nil {
+		// The sender terminally consumes every packet it receives, whether
+		// or not it processes it.
+		c.aud.PacketConsumed()
+		if p.Kind == packet.Ack && p.CumAck > c.sndNxt {
+			c.aud.Failf("tcp", "ack-beyond-sndnxt",
+				"conn %d: cumulative ACK %d acknowledges bytes never sent (sndNxt=%d)",
+				c.id, p.CumAck, c.sndNxt)
+		}
+	}
 	if p.Kind != packet.Ack || c.stopped {
 		packet.Release(p)
 		return
@@ -544,6 +618,11 @@ func (c *Conn) Receive(now sim.Time, p *packet.Packet) {
 		done := c.done
 		c.done = nil
 		done(c)
+	}
+	if c.aud != nil && c.stats.Acks%auditDeepCheckEvery == 0 {
+		if err := c.auditSeqSpace(); err != nil {
+			c.aud.Failf("tcp", "seq-space", "%v", err)
+		}
 	}
 	c.trySend()
 }

@@ -3,6 +3,7 @@ package tcp
 import (
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -33,6 +34,10 @@ type Receiver struct {
 	hasPending bool
 	delTimer   sim.Timer
 	acksSent   uint64
+
+	// aud, when non-nil, records the endpoint's side of the conservation
+	// ledger: every arriving packet is consumed here, every ACK is created.
+	aud *audit.Auditor
 }
 
 // pendingEcho holds the echo fields of the newest unacknowledged segment.
@@ -63,6 +68,7 @@ func NewReceiver(eng *sim.Engine, id packet.FlowID, header units.ByteSize, injec
 		ooo:    make(map[int64]int64),
 	}
 	r.delTimer.Init(eng, r, nil)
+	r.aud = eng.Auditor()
 	return r
 }
 
@@ -97,6 +103,9 @@ func (r *Receiver) DupSegments() uint64 { return r.dupSegments }
 
 // Receive implements netem.Receiver for the data direction.
 func (r *Receiver) Receive(now sim.Time, p *packet.Packet) {
+	if r.aud != nil {
+		r.aud.PacketConsumed()
+	}
 	if p.Kind != packet.Data {
 		packet.Release(p)
 		return
@@ -177,5 +186,8 @@ func (r *Receiver) sendAck(e pendingEcho) {
 	ack.FirstSentTime = e.firstSentTime
 	ack.AppLimited = e.appLimited
 	r.acksSent++
+	if r.aud != nil {
+		r.aud.PacketCreated()
+	}
 	r.inject(ack)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/aqm"
+	"repro/internal/audit"
 	"repro/internal/faults"
 	"repro/internal/netem"
 	"repro/internal/packet"
@@ -57,6 +58,11 @@ func (cfg *Config) defaults() error {
 // Demux routes packets to per-flow endpoints at the edge of the network.
 type Demux struct {
 	m map[packet.FlowID]netem.Receiver
+
+	// aud, when non-nil, reports packets released for an unknown flow as
+	// terminally consumed, keeping the conservation ledger balanced (matched
+	// packets are consumed by the endpoint they are handed to).
+	aud *audit.Auditor
 }
 
 // NewDemux returns an empty demultiplexer.
@@ -70,6 +76,9 @@ func (d *Demux) Receive(now sim.Time, p *packet.Packet) {
 	if r, ok := d.m[p.Flow]; ok {
 		r.Receive(now, p)
 		return
+	}
+	if d.aud != nil {
+		d.aud.PacketConsumed()
 	}
 	packet.Release(p)
 }
@@ -111,6 +120,8 @@ func NewDumbbell(eng *sim.Engine, cfg Config) (*Dumbbell, error) {
 		return nil, err
 	}
 	d := &Dumbbell{Eng: eng, Cfg: cfg, srvDemux: NewDemux(), cliDemux: NewDemux()}
+	d.srvDemux.aud = eng.Auditor()
+	d.cliDemux.aud = eng.Auditor()
 
 	// One-way delay split across the three forward hops, mirroring the
 	// Clemson→Washington→NCSA→TACC legs.
