@@ -20,6 +20,11 @@
 #                     temp dir (flap preset, 4 cheap configs) with -audit and
 #                     -strict: any errored or checkpoint-skipped config makes
 #                     the target fail
+#   make smoke-svc  — end-to-end sweepd service check (scripts/smoke_svc.sh):
+#                     daemon on an ephemeral port, served sweep byte-identical
+#                     to a direct CLI run (modulo wall_ns), repeated POST
+#                     coalesced with zero new simulations, cache hits visible
+#                     on /metrics, journal compacted on graceful shutdown
 #   make fuzz-smoke — every fuzz target for a short budget, seeded from the
 #                     checked-in corpora under */testdata/fuzz
 #   make bench      — engine micro-benchmarks (0 allocs/op on reuse paths)
@@ -27,9 +32,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test allocs audit resilience smoke fuzz-smoke bench
+.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc fuzz-smoke bench
 
-ci: lint build test allocs audit resilience smoke fuzz-smoke
+ci: lint build test allocs audit resilience smoke smoke-svc fuzz-smoke
 
 lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
@@ -61,6 +66,9 @@ smoke:
 		-duration 6s -quiet -audit -strict \
 		-checkpoint $$tmp/fault-smoke.ckpt.jsonl -out $$tmp/fault-smoke.json; \
 	rc=$$?; rm -rf "$$tmp"; exit $$rc
+
+smoke-svc:
+	GO="$(GO)" sh scripts/smoke_svc.sh
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFaultsParse -fuzztime $(FUZZTIME) ./internal/faults/

@@ -1,13 +1,18 @@
 // Command report generates EXPERIMENTS.md — the paper-vs-measured record —
-// from one or more sweep result sets.
+// from one or more sweep result sets. A set may be a local file or an
+// http(s) URL, e.g. a sweepd results endpoint — the daemon's GET
+// /v1/sweeps/{id}/report serves this same render path, so fetching the
+// results here and rendering locally produces the identical document.
 //
 //	report -in results.json -out EXPERIMENTS.md
 //	report -in results/b100m.json,results/b1g.json -figures -out EXPERIMENTS.md
+//	report -in http://localhost:8422/v1/sweeps/<id>/results -out -
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -26,7 +31,7 @@ func main() {
 	var all []experiment.Result
 	var notes []string
 	for _, path := range strings.Split(*in, ",") {
-		rs, err := experiment.LoadFile(strings.TrimSpace(path))
+		rs, err := loadSet(strings.TrimSpace(path))
 		if err != nil {
 			fatal(err)
 		}
@@ -52,6 +57,23 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "report: wrote %s (%d results summarized)\n", *out, len(all))
+}
+
+// loadSet reads a ResultSet from a local path or, for http(s) sources such
+// as a sweepd /v1/sweeps/{id}/results endpoint, over the network.
+func loadSet(src string) (*experiment.ResultSet, error) {
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		return experiment.LoadFile(src)
+	}
+	resp, err := http.Get(src)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch %s: %s", src, resp.Status)
+	}
+	return experiment.ReadJSON(resp.Body)
 }
 
 func fatal(err error) {

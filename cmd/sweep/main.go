@@ -1,7 +1,10 @@
 // Command sweep runs the paper's measurement grid (Table 1: 9 CCA pairings
 // × 3 AQMs × 6 buffer sizes × 5 bottleneck bandwidths) over the simulator
 // and writes a JSON result set that cmd/figures renders into the paper's
-// figures and tables.
+// figures and tables. The grid subset is an experiment.GridSpec — the same
+// type sweepd accepts over HTTP — and with -remote the command becomes a
+// thin client of a running daemon, submitting the identical spec and saving
+// the served bytes.
 //
 // Examples:
 //
@@ -9,46 +12,35 @@
 //	sweep -out results.json -seeds 5 -workers 4    # 5 replicas each
 //	sweep -out quick.json -bws 100Mbps,1Gbps -queues 2,16
 //	sweep -table3 results.json                     # print Table 3 and exit
+//	sweep -remote http://localhost:8422 -bws 1Gbps # run via sweepd
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
-	"repro/internal/aqm"
-	"repro/internal/cca"
 	"repro/internal/experiment"
-	"repro/internal/faults"
-	"repro/internal/units"
+	"repro/internal/svc"
 )
 
 func main() {
+	var spec experiment.GridSpec
+	spec.RegisterFlags(flag.CommandLine)
 	var (
-		out      = flag.String("out", "results.json", "output JSON path")
-		seeds    = flag.Int("seeds", 1, "replica seeds per configuration (paper used 5)")
-		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		paper    = flag.Bool("paper-scale", false, "full 200s runs and uncapped flow counts")
-		bwList   = flag.String("bws", "", "comma-separated bandwidth subset (default: all five paper BWs)")
-		queues   = flag.String("queues", "", "comma-separated buffer multipliers (default: 0.5,1,2,4,8,16)")
-		aqms     = flag.String("aqms", "", "comma-separated AQM subset (default: fifo,red,fq_codel)")
-		pairs    = flag.String("pairings", "", "comma-separated pairing subset like bbr1:cubic,reno:reno (default: all nine)")
-		duration = flag.Duration("duration", 0, "override simulated duration for every run")
-		table3   = flag.String("table3", "", "render Table 3 from an existing results JSON and exit")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-
-		faultSpec  = flag.String("faults", "", "fault profile for every run: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
-		configs    = flag.Int("configs", 0, "truncate the grid to its first N configurations (0 = all; for smoke tests)")
-		checkpoint = flag.String("checkpoint", "", "JSONL journal path: append each finished result and, on restart, skip configurations already journaled")
+		out        = flag.String("out", "results.json", "output JSON path")
+		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS; local mode only)")
+		table3     = flag.String("table3", "", "render Table 3 from an existing results JSON and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		checkpoint = flag.String("checkpoint", "", "JSONL journal path: append each finished result and, on restart, skip configurations already journaled (compacted on clean completion)")
 		keepGoing  = flag.Bool("keep-going", true, "complete the sweep even if individual configurations fail; exit non-zero only when false")
-		maxEvents  = flag.Uint64("max-events", 0, "per-run watchdog: abort a configuration after this many simulator events (0 = unlimited)")
-		maxWall    = flag.Duration("max-wall", 0, "per-run watchdog: abort a configuration after this much wall time (0 = unlimited)")
-		auditRun   = flag.Bool("audit", false, "enable the runtime invariant auditor on every run; violations become errored results")
 		strict     = flag.Bool("strict", false, "exit non-zero if any configuration errored or was skipped by checkpoint resume (for CI smoke runs)")
+
+		remote       = flag.String("remote", "", "submit the spec to a sweepd daemon at this base URL instead of simulating locally")
+		printMetrics = flag.Bool("print-metrics", false, "after a -remote sweep, fetch the daemon's /metrics and print it to stdout")
 	)
 	flag.Parse()
 
@@ -61,74 +53,14 @@ func main() {
 		return
 	}
 
-	opts := experiment.PaperGrid(seedList(*seeds)...)
-	opts.PaperScale = *paper
-	if *bwList != "" {
-		opts.Bandwidths = nil
-		for _, s := range strings.Split(*bwList, ",") {
-			bw, err := units.ParseBandwidth(strings.TrimSpace(s))
-			if err != nil {
-				fatal(err)
-			}
-			opts.Bandwidths = append(opts.Bandwidths, bw)
-		}
-	}
-	if *queues != "" {
-		opts.QueueMults = nil
-		for _, s := range strings.Split(*queues, ",") {
-			q, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-			if err != nil {
-				fatal(err)
-			}
-			opts.QueueMults = append(opts.QueueMults, q)
-		}
-	}
-	if *aqms != "" {
-		opts.AQMs = nil
-		for _, s := range strings.Split(*aqms, ",") {
-			k, err := aqm.ParseKind(strings.TrimSpace(s))
-			if err != nil {
-				fatal(err)
-			}
-			opts.AQMs = append(opts.AQMs, k)
-		}
-	}
-	if *pairs != "" {
-		opts.Pairings = nil
-		for _, s := range strings.Split(*pairs, ",") {
-			parts := strings.SplitN(strings.TrimSpace(s), ":", 2)
-			if len(parts) != 2 {
-				fatal(fmt.Errorf("bad pairing %q (want cca1:cca2)", s))
-			}
-			c1, err := cca.Parse(parts[0])
-			if err != nil {
-				fatal(err)
-			}
-			c2, err := cca.Parse(parts[1])
-			if err != nil {
-				fatal(err)
-			}
-			opts.Pairings = append(opts.Pairings, experiment.Pairing{CCA1: c1, CCA2: c2})
-		}
+	if *remote != "" {
+		runRemote(*remote, spec, *out, *quiet, *strict, *printMetrics)
+		return
 	}
 
-	profile, err := faults.Parse(*faultSpec)
+	cfgs, err := spec.Expand()
 	if err != nil {
 		fatal(err)
-	}
-
-	cfgs := experiment.Grid(opts)
-	if *configs > 0 && *configs < len(cfgs) {
-		cfgs = cfgs[:*configs]
-	}
-	for i := range cfgs {
-		if *duration > 0 {
-			cfgs[i].Duration = *duration
-		}
-		cfgs[i].Faults = profile
-		cfgs[i].MaxEvents = *maxEvents
-		cfgs[i].MaxWall = *maxWall
-		cfgs[i].Audit = *auditRun
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d configurations\n", len(cfgs))
 
@@ -166,8 +98,9 @@ func main() {
 		KeepGoing:  *keepGoing,
 	}
 	skippedAhead := 0
+	var ck *experiment.Checkpoint
 	if *checkpoint != "" {
-		ck, err := experiment.OpenCheckpoint(*checkpoint)
+		ck, err = experiment.OpenCheckpoint(*checkpoint)
 		if err != nil {
 			fatal(err)
 		}
@@ -190,13 +123,15 @@ func main() {
 	if errored > 0 {
 		fmt.Fprintf(os.Stderr, "sweep: %d of %d configurations errored (kept going)\n", errored, len(cfgs))
 	}
-
-	note := fmt.Sprintf("grid sweep: %d configs, seeds=%d, paperScale=%v, generated by cmd/sweep",
-		len(cfgs), *seeds, *paper)
-	if id := profile.ID(); id != "" {
-		note += ", faults=" + id
+	if ck != nil && errored == 0 {
+		// Successful completion: fold the append-only journal down to one
+		// line per live config so it stops growing across resumes.
+		if err := ck.Compact(); err != nil {
+			fatal(err)
+		}
 	}
-	if err := experiment.SaveFile(*out, &experiment.ResultSet{Note: note, Results: results}); err != nil {
+
+	if err := experiment.SaveFile(*out, &experiment.ResultSet{Note: spec.Note(), Results: results}); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: wrote %s in %v\n", *out, time.Since(start).Round(time.Second))
@@ -209,6 +144,77 @@ func main() {
 	}
 }
 
+// runRemote drives a sweepd daemon with the same spec the local path would
+// run: submit, stream progress, save the served result bytes verbatim (so
+// the file is byte-identical to the daemon's cache, which is byte-identical
+// to a local sweep), and print Table 3.
+func runRemote(base string, spec experiment.GridSpec, out string, quiet, strict, printMetrics bool) {
+	start := time.Now()
+	client := &svc.Client{Base: base}
+	st, err := client.Submit(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: remote job %s on %s: %d configurations, %d cached\n",
+		st.ID, base, st.Total, st.Cached)
+
+	onEvent := func(ev svc.Event) {
+		if quiet {
+			return
+		}
+		status := fmt.Sprintf("u=%.3f J=%.3f", ev.Utilization, ev.Jain)
+		if ev.Error != "" {
+			status = "ERROR " + ev.Error
+		}
+		src := "sim"
+		if ev.Cached {
+			src = "hit"
+		}
+		fmt.Fprintf(os.Stderr, "[%4d/%4d] %-55s %s %s (%v)\n",
+			ev.Done, ev.Total, ev.ConfigID, status, src, time.Since(start).Round(time.Second))
+	}
+	if err := client.Stream(context.Background(), st.ID, onEvent); err != nil {
+		fatal(err)
+	}
+	st, err = client.Status(st.ID)
+	if err != nil {
+		fatal(err)
+	}
+	if st.State != svc.StateDone {
+		fatal(fmt.Errorf("remote job %s ended in state %s (%d/%d done)", st.ID, st.State, st.Done, st.Total))
+	}
+	if st.Errored > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d configurations errored remotely\n", st.Errored, st.Total)
+	}
+
+	raw, err := client.Results(st.ID)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: wrote %s in %v\n", out, time.Since(start).Round(time.Second))
+
+	rs, err := experiment.LoadFile(out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiment.Summarize(rs.Results).RenderTable3())
+
+	if printMetrics {
+		metrics, err := client.Metrics()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(metrics)
+	}
+	if strict && st.Errored > 0 {
+		fatal(fmt.Errorf("strict: %d errored configurations", st.Errored))
+	}
+}
+
 func countErrored(results []experiment.Result) int {
 	n := 0
 	for _, r := range results {
@@ -217,17 +223,6 @@ func countErrored(results []experiment.Result) int {
 		}
 	}
 	return n
-}
-
-func seedList(n int) []uint64 {
-	if n < 1 {
-		n = 1
-	}
-	out := make([]uint64, n)
-	for i := range out {
-		out[i] = uint64(i + 1)
-	}
-	return out
 }
 
 func fatal(err error) {

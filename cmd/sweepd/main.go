@@ -1,0 +1,107 @@
+// Command sweepd serves the measurement grid as a long-running service:
+// clients POST experiment.GridSpec sweeps and stream results over HTTP,
+// while a sharded worker pool simulates each configuration at most once and
+// a content-addressed cache (persisted via the JSONL checkpoint journal)
+// answers repeats without re-simulating. A served sweep is byte-identical
+// to a direct cmd/sweep run of the same spec.
+//
+//	sweepd -journal sweeps.ckpt.jsonl                # listen on :8422
+//	sweepd -addr 127.0.0.1:0 -addr-file /tmp/addr    # ephemeral port, for scripts
+//	sweep -remote http://localhost:8422 -bws 1Gbps   # submit via the CLI client
+//
+// API:
+//
+//	POST /v1/sweeps              submit a GridSpec (JSON body); identical
+//	                             specs coalesce onto one job
+//	GET  /v1/sweeps/{id}         status with per-config skip/error counts
+//	GET  /v1/sweeps/{id}/events  NDJSON progress stream, one line per
+//	                             completed configuration
+//	GET  /v1/sweeps/{id}/results merged experiment.ResultSet JSON
+//	GET  /v1/sweeps/{id}/report  paper-vs-measured markdown (cmd/report path)
+//	GET  /metrics                Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/svc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8422", "listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+		journal  = flag.String("journal", "", "JSONL checkpoint journal persisting the result cache (empty = in-memory only)")
+		shards   = flag.Int("shards", 0, "worker-pool shards (0 = GOMAXPROCS)")
+		auditRun = flag.Bool("audit", false, "arm the runtime invariant auditor on every simulated configuration")
+	)
+	flag.Parse()
+
+	server, err := svc.New(svc.Options{Journal: *journal, Shards: *shards, Audit: *auditRun})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s (journal=%s audit=%v)\n",
+		ln.Addr(), orNone(*journal), *auditRun)
+	if *addrFile != "" {
+		// Write-then-rename so a watching script never reads a torn address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fatal(err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: server.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "sweepd: shutting down: draining running configurations")
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd: http shutdown:", err)
+	}
+	if err := server.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "sweepd: journal flushed, bye")
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "sweepd:", err)
+	os.Exit(1)
+}

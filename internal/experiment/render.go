@@ -126,8 +126,8 @@ func (s *Summary) RenderRetransFigure(kind aqm.Kind, queueBDP float64) string {
 // the paper's Table 3 layout.
 func (s *Summary) RenderTable3() string {
 	var b strings.Builder
-	b.WriteString("| CCA1 vs CCA2 | AQM | Avg(phi) | Avg(RR) | Avg(J_index) |\n")
-	b.WriteString("|---|---|---|---|---|\n")
+	b.WriteString("| CCA1 vs CCA2 | AQM | Avg(phi) | Avg(RR) | Avg(J_index) | Avg(H) |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
 	lastAQM := aqm.Kind("")
 	for _, row := range s.Table3() {
 		aqmCell := ""
@@ -139,9 +139,9 @@ func (s *Summary) RenderTable3() string {
 		if !math.IsNaN(row.AvgRR) {
 			rr = fmt.Sprintf("%.3f", row.AvgRR)
 		}
-		fmt.Fprintf(&b, "| %s vs %s | %s | %.3f | %s | %.3f |\n",
+		fmt.Fprintf(&b, "| %s vs %s | %s | %.3f | %s | %.3f | %.3f |\n",
 			strings.ToUpper(string(row.Pairing.CCA1)), strings.ToUpper(string(row.Pairing.CCA2)),
-			aqmCell, row.AvgPhi, rr, row.AvgJain)
+			aqmCell, row.AvgPhi, rr, row.AvgJain, row.AvgHarm)
 	}
 	return b.String()
 }

@@ -54,6 +54,20 @@ func runSafe(cfg Config) (res Result, err error) {
 	return Run(cfg)
 }
 
+// RunOne executes a single configuration with the sweep runner's hardening:
+// a panic anywhere under Run comes back as an errored Result carrying the
+// normalized config for identification, never a crash. It is the unit of
+// work sweepd's sharded pool schedules, so daemon-run configurations get
+// exactly the same recovery, watchdog, and audit semantics as a CLI sweep.
+func RunOne(cfg Config) Result {
+	res, err := runSafe(cfg)
+	if err != nil {
+		res.Config = cfg.Normalize()
+		res.Error = err.Error()
+	}
+	return res
+}
+
 // RunAll executes the configurations on a worker pool of the given width
 // (0 = GOMAXPROCS) and returns results in input order. Each simulation is
 // single-threaded and deterministic; parallelism is purely across

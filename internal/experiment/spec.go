@@ -1,0 +1,311 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/faults"
+	"repro/internal/units"
+)
+
+// GridSpec is the wire- and flag-level description of a sweep: which subset
+// of the Table-1 grid to run and under which overrides. It is the single
+// parser shared by cmd/sweep's flags and the sweepd HTTP API, so a spec
+// submitted over the wire expands to exactly the configurations the CLI
+// would run. All list fields are comma-separated strings (the flag syntax);
+// empty fields select the paper defaults. The zero value is the full scaled
+// Table-1 grid with one seed.
+type GridSpec struct {
+	// Bandwidths subsets the bottleneck bandwidths, e.g. "100Mbps,1Gbps".
+	Bandwidths string `json:"bandwidths,omitempty"`
+	// Queues subsets the buffer multipliers in BDP units, e.g. "0.5,2,16".
+	Queues string `json:"queues,omitempty"`
+	// AQMs subsets the queue disciplines, e.g. "fifo,fq_codel".
+	AQMs string `json:"aqms,omitempty"`
+	// Pairings subsets the CCA pairings, e.g. "bbr1:cubic,reno:reno".
+	Pairings string `json:"pairings,omitempty"`
+	// Seeds is the replica count: seeds 1..N run per grid cell (min 1).
+	Seeds int `json:"seeds,omitempty"`
+	// Duration overrides the simulated duration of every run, as a Go
+	// duration string like "6s" (empty = bandwidth-scaled default).
+	Duration string `json:"duration,omitempty"`
+	// PaperScale selects full 200 s runs and uncapped flow counts.
+	PaperScale bool `json:"paper_scale,omitempty"`
+	// Faults is a fault-profile spec: preset list, inline JSON, or @file
+	// (the faults.Parse syntax).
+	Faults string `json:"faults,omitempty"`
+	// Configs truncates the expanded grid to its first N configurations
+	// (0 = all; for smoke tests).
+	Configs int `json:"configs,omitempty"`
+	// MaxEvents is the per-run event-budget watchdog (0 = unlimited).
+	MaxEvents uint64 `json:"max_events,omitempty"`
+	// MaxWall is the per-run wall-clock watchdog as a Go duration string
+	// (empty = unlimited). Machine-dependent; not part of result science.
+	MaxWall string `json:"max_wall,omitempty"`
+	// Audit arms the runtime invariant auditor on every run.
+	Audit bool `json:"audit,omitempty"`
+}
+
+// RegisterFlags binds the spec's fields to the canonical sweep flag names
+// on fs. Both cmd/sweep and any future client register through here, so
+// flag syntax and the HTTP spec body can never drift apart.
+func (s *GridSpec) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&s.Bandwidths, "bws", s.Bandwidths, "comma-separated bandwidth subset (default: all five paper BWs)")
+	fs.StringVar(&s.Queues, "queues", s.Queues, "comma-separated buffer multipliers (default: 0.5,1,2,4,8,16)")
+	fs.StringVar(&s.AQMs, "aqms", s.AQMs, "comma-separated AQM subset (default: fifo,red,fq_codel)")
+	fs.StringVar(&s.Pairings, "pairings", s.Pairings, "comma-separated pairing subset like bbr1:cubic,reno:reno (default: all nine)")
+	fs.IntVar(&s.Seeds, "seeds", s.Seeds, "replica seeds per configuration (paper used 5)")
+	fs.StringVar(&s.Duration, "duration", s.Duration, "override simulated duration for every run (e.g. 6s)")
+	fs.BoolVar(&s.PaperScale, "paper-scale", s.PaperScale, "full 200s runs and uncapped flow counts")
+	fs.StringVar(&s.Faults, "faults", s.Faults, "fault profile for every run: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
+	fs.IntVar(&s.Configs, "configs", s.Configs, "truncate the grid to its first N configurations (0 = all; for smoke tests)")
+	fs.Uint64Var(&s.MaxEvents, "max-events", s.MaxEvents, "per-run watchdog: abort a configuration after this many simulator events (0 = unlimited)")
+	fs.StringVar(&s.MaxWall, "max-wall", s.MaxWall, "per-run watchdog: abort a configuration after this much wall time (empty = unlimited)")
+	fs.BoolVar(&s.Audit, "audit", s.Audit, "enable the runtime invariant auditor on every run; violations become errored results")
+}
+
+// parsed is the typed expansion of a GridSpec's string fields.
+type parsed struct {
+	opts     GridOptions
+	duration time.Duration
+	maxWall  time.Duration
+	profile  *faults.Profile
+}
+
+func (s GridSpec) parse() (parsed, error) {
+	var p parsed
+	seeds := s.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	seedList := make([]uint64, seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+	p.opts = PaperGrid(seedList...)
+	p.opts.PaperScale = s.PaperScale
+
+	if s.Bandwidths != "" {
+		p.opts.Bandwidths = nil
+		for _, f := range splitList(s.Bandwidths) {
+			bw, err := units.ParseBandwidth(f)
+			if err != nil {
+				return p, fmt.Errorf("experiment: spec bandwidths: %w", err)
+			}
+			p.opts.Bandwidths = append(p.opts.Bandwidths, bw)
+		}
+	}
+	if s.Queues != "" {
+		p.opts.QueueMults = nil
+		for _, f := range splitList(s.Queues) {
+			q, err := strconv.ParseFloat(f, 64)
+			if err != nil || q <= 0 {
+				return p, fmt.Errorf("experiment: spec queues: bad buffer multiplier %q", f)
+			}
+			p.opts.QueueMults = append(p.opts.QueueMults, q)
+		}
+	}
+	if s.AQMs != "" {
+		p.opts.AQMs = nil
+		for _, f := range splitList(s.AQMs) {
+			k, err := aqm.ParseKind(f)
+			if err != nil {
+				return p, fmt.Errorf("experiment: spec aqms: %w", err)
+			}
+			p.opts.AQMs = append(p.opts.AQMs, k)
+		}
+	}
+	if s.Pairings != "" {
+		p.opts.Pairings = nil
+		for _, f := range splitList(s.Pairings) {
+			parts := strings.SplitN(f, ":", 2)
+			if len(parts) != 2 {
+				return p, fmt.Errorf("experiment: spec pairings: bad pairing %q (want cca1:cca2)", f)
+			}
+			c1, err := cca.Parse(strings.TrimSpace(parts[0]))
+			if err != nil {
+				return p, fmt.Errorf("experiment: spec pairings: %w", err)
+			}
+			c2, err := cca.Parse(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return p, fmt.Errorf("experiment: spec pairings: %w", err)
+			}
+			p.opts.Pairings = append(p.opts.Pairings, Pairing{CCA1: c1, CCA2: c2})
+		}
+	}
+	if s.Duration != "" {
+		d, err := time.ParseDuration(s.Duration)
+		if err != nil || d <= 0 {
+			return p, fmt.Errorf("experiment: spec duration: bad duration %q", s.Duration)
+		}
+		p.duration = d
+	}
+	if s.MaxWall != "" {
+		d, err := time.ParseDuration(s.MaxWall)
+		if err != nil || d < 0 {
+			return p, fmt.Errorf("experiment: spec max-wall: bad duration %q", s.MaxWall)
+		}
+		p.maxWall = d
+	}
+	if s.Configs < 0 {
+		return p, fmt.Errorf("experiment: spec configs: negative truncation %d", s.Configs)
+	}
+	profile, err := faults.Parse(s.Faults)
+	if err != nil {
+		return p, fmt.Errorf("experiment: spec faults: %w", err)
+	}
+	p.profile = profile
+	return p, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Validate checks every field without expanding the grid.
+func (s GridSpec) Validate() error {
+	_, err := s.parse()
+	return err
+}
+
+// Expand validates the spec and returns its configurations in canonical
+// grid order — the same order cmd/sweep runs and serializes them.
+func (s GridSpec) Expand() ([]Config, error) {
+	p, err := s.parse()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := Grid(p.opts)
+	if s.Configs > 0 && s.Configs < len(cfgs) {
+		cfgs = cfgs[:s.Configs]
+	}
+	for i := range cfgs {
+		if p.duration > 0 {
+			cfgs[i].Duration = p.duration
+		}
+		cfgs[i].Faults = p.profile
+		cfgs[i].MaxEvents = s.MaxEvents
+		cfgs[i].MaxWall = p.maxWall
+		cfgs[i].Audit = s.Audit
+	}
+	return cfgs, nil
+}
+
+// Canonical returns the spec with every list normalized (whitespace
+// trimmed, bandwidths and durations re-rendered in canonical form) so that
+// equivalent spellings — "100Mbps, 1Gbps" vs "0.1Gbps,1000Mbps" — produce
+// the same canonical spec and therefore the same content-address Key.
+func (s GridSpec) Canonical() (GridSpec, error) {
+	p, err := s.parse()
+	if err != nil {
+		return s, err
+	}
+	if s.Bandwidths != "" {
+		var bws []string
+		for _, bw := range p.opts.Bandwidths {
+			bws = append(bws, bw.String())
+		}
+		s.Bandwidths = strings.Join(bws, ",")
+	}
+	if s.Queues != "" {
+		var qs []string
+		for _, q := range p.opts.QueueMults {
+			qs = append(qs, strconv.FormatFloat(q, 'g', -1, 64))
+		}
+		s.Queues = strings.Join(qs, ",")
+	}
+	if s.AQMs != "" {
+		var as []string
+		for _, a := range p.opts.AQMs {
+			as = append(as, string(a))
+		}
+		s.AQMs = strings.Join(as, ",")
+	}
+	if s.Pairings != "" {
+		var ps []string
+		for _, pr := range p.opts.Pairings {
+			ps = append(ps, string(pr.CCA1)+":"+string(pr.CCA2))
+		}
+		s.Pairings = strings.Join(ps, ",")
+	}
+	if s.Seeds < 1 {
+		s.Seeds = 1
+	}
+	if s.Duration != "" {
+		s.Duration = p.duration.String()
+	}
+	if s.MaxWall != "" {
+		s.MaxWall = p.maxWall.String()
+	}
+	if s.Faults != "" {
+		// Normalize any fault spelling (preset, JSON, @file) to the
+		// profile's compact ID-free JSON? The profile ID is stable and
+		// short; use the canonical JSON so @file specs hash by content,
+		// not by path.
+		if p.profile != nil && !p.profile.Empty() {
+			data, err := json.Marshal(p.profile.Normalize())
+			if err != nil {
+				return s, fmt.Errorf("experiment: spec faults: %w", err)
+			}
+			s.Faults = string(data)
+		} else {
+			s.Faults = ""
+		}
+	}
+	return s, nil
+}
+
+// Key returns the spec's content address: a hex digest of the canonical
+// JSON encoding. Two specs that expand to the same grid under the same
+// overrides share a Key; sweepd coalesces concurrent submissions by it.
+func (s GridSpec) Key() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("experiment: spec key: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:16], nil
+}
+
+// Note renders the deterministic provenance string recorded in a
+// ResultSet. cmd/sweep and sweepd both use it verbatim, which is what
+// makes a served result set byte-identical to a CLI sweep of the same
+// spec.
+func (s GridSpec) Note() string {
+	seeds := s.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	n := 0
+	if cfgs, err := s.Expand(); err == nil {
+		n = len(cfgs)
+	}
+	note := fmt.Sprintf("grid sweep: %d configs, seeds=%d, paperScale=%v", n, seeds, s.PaperScale)
+	if profile, err := faults.Parse(s.Faults); err == nil {
+		if id := profile.ID(); id != "" {
+			note += ", faults=" + id
+		}
+	}
+	if key, err := s.Key(); err == nil {
+		note += ", spec=" + key
+	}
+	return note
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestGridSpecValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    GridSpec
+		wantErr string // substring; "" = valid
+	}{
+		{"zero value is the full default grid", GridSpec{}, ""},
+		{"bandwidth subset", GridSpec{Bandwidths: "100Mbps,1Gbps"}, ""},
+		{"queue subset", GridSpec{Queues: "0.5,2,16"}, ""},
+		{"aqm subset", GridSpec{AQMs: "fifo,fq_codel"}, ""},
+		{"pairing subset", GridSpec{Pairings: "bbr1:cubic,reno:reno"}, ""},
+		{"whitespace tolerated", GridSpec{Pairings: " bbr1 : cubic , reno:reno "}, ""},
+		{"faults preset", GridSpec{Faults: "flap"}, ""},
+		{"everything at once", GridSpec{
+			Bandwidths: "1Gbps", Queues: "2", AQMs: "red", Pairings: "cubic:cubic",
+			Seeds: 3, Duration: "6s", MaxWall: "1m", Configs: 2, Faults: "flap",
+		}, ""},
+
+		{"unknown bandwidth unit", GridSpec{Bandwidths: "100Parsecs"}, "bandwidth"},
+		{"negative queue", GridSpec{Queues: "-1"}, "buffer multiplier"},
+		{"zero queue", GridSpec{Queues: "0"}, "buffer multiplier"},
+		{"unparseable queue", GridSpec{Queues: "deep"}, "buffer multiplier"},
+		{"unknown aqm", GridSpec{AQMs: "codel2"}, "aqm"},
+		{"unknown cca in pairing", GridSpec{Pairings: "bbr9:cubic"}, "pairing"},
+		{"pairing missing colon", GridSpec{Pairings: "bbr1cubic"}, "want cca1:cca2"},
+		{"pairing with empty half", GridSpec{Pairings: ":cubic"}, "pairing"},
+		{"bad duration", GridSpec{Duration: "six seconds"}, "duration"},
+		{"negative duration", GridSpec{Duration: "-2s"}, "duration"},
+		{"bad max wall", GridSpec{MaxWall: "soon"}, "duration"},
+		{"negative configs", GridSpec{Configs: -1}, "negative"},
+		{"bad fault spec", GridSpec{Faults: "ge:pgb=notanumber"}, "faults"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want ok", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted %+v, want error containing %q", c.spec, c.wantErr)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.wantErr)) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestGridSpecExpand(t *testing.T) {
+	spec := GridSpec{Bandwidths: "100Mbps", Queues: "2", AQMs: "fifo",
+		Pairings: "reno:reno,cubic:cubic", Seeds: 2, Duration: "3s"}
+	cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 4 { // 2 pairings × 2 seeds
+		t.Fatalf("expanded %d configs, want 4", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.Duration.Seconds() != 3 {
+			t.Fatalf("duration override not applied: %v", c.Duration)
+		}
+		if c.Bottleneck != 100*units.MegabitPerSec {
+			t.Fatalf("bandwidth subset not applied: %v", c.Bottleneck)
+		}
+	}
+	// Truncation keeps the canonical grid prefix.
+	spec.Configs = 3
+	cfgs, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 3 {
+		t.Fatalf("truncated to %d configs, want 3", len(cfgs))
+	}
+}
+
+// TestGridSpecKeyCanonicalization: equivalent spellings must share a
+// content address; different grids must not.
+func TestGridSpecKeyCanonicalization(t *testing.T) {
+	key := func(s GridSpec) string {
+		t.Helper()
+		k, err := s.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	a := GridSpec{Bandwidths: "100Mbps, 1Gbps", Queues: "2.0,16", Pairings: "bbr1:cubic"}
+	b := GridSpec{Bandwidths: "0.1Gbps,1000Mbps", Queues: "2,16", Pairings: " bbr1 : cubic "}
+	if key(a) != key(b) {
+		t.Errorf("equivalent spellings got different keys: %s vs %s", key(a), key(b))
+	}
+	c := GridSpec{Bandwidths: "100Mbps,1Gbps", Queues: "2,16", Pairings: "bbr2:cubic"}
+	if key(a) == key(c) {
+		t.Error("different pairings share a key")
+	}
+	d := a
+	d.Seeds = 1 // the implicit default made explicit
+	if key(a) != key(d) {
+		t.Error("seeds=0 and seeds=1 should canonicalize identically")
+	}
+	e := a
+	e.Audit = true // audit is part of the spec (job identity), unlike config identity
+	if key(a) == key(e) {
+		t.Error("audit toggle should change the spec key")
+	}
+}
+
+// TestGridSpecFlagsMatchJSON: a spec parsed from the canonical CLI flags
+// must equal the same spec arriving as a JSON body — the property that lets
+// cmd/sweep -remote and a local run share one parser.
+func TestGridSpecFlagsMatchJSON(t *testing.T) {
+	var fromFlags GridSpec
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fromFlags.RegisterFlags(fs)
+	err := fs.Parse([]string{
+		"-bws", "100Mbps", "-queues", "2,16", "-aqms", "red", "-pairings", "bbr1:cubic",
+		"-seeds", "2", "-duration", "6s", "-faults", "flap", "-configs", "3",
+		"-max-events", "500", "-max-wall", "1m", "-audit",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON GridSpec
+	body := `{"bandwidths":"100Mbps","queues":"2,16","aqms":"red","pairings":"bbr1:cubic",
+		"seeds":2,"duration":"6s","faults":"flap","configs":3,"max_events":500,
+		"max_wall":"1m","audit":true}`
+	if err := json.Unmarshal([]byte(body), &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if fromFlags != fromJSON {
+		t.Fatalf("flag and JSON parses disagree:\nflags: %+v\njson:  %+v", fromFlags, fromJSON)
+	}
+	kf, err := fromFlags.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kj, err := fromJSON.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf != kj {
+		t.Fatalf("keys disagree: %s vs %s", kf, kj)
+	}
+}
+
+// TestGridSpecNoteDeterministic: the provenance note must be identical
+// however the spec was spelled, since it is embedded in served result sets.
+func TestGridSpecNoteDeterministic(t *testing.T) {
+	a := GridSpec{Bandwidths: "100Mbps", Queues: "2", Pairings: "reno:reno", Faults: "flap"}
+	b := GridSpec{Bandwidths: "0.1Gbps", Queues: "2.0", Pairings: " reno:reno ", Faults: "flap"}
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Note() != b.Note() || a.Note() != ca.Note() {
+		t.Fatalf("notes differ:\n%s\n%s\n%s", a.Note(), b.Note(), ca.Note())
+	}
+	if !strings.Contains(a.Note(), "faults=") || !strings.Contains(a.Note(), "spec=") {
+		t.Fatalf("note missing provenance fields: %s", a.Note())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -166,6 +167,78 @@ func (c *Checkpoint) Append(res Result) error {
 		return fmt.Errorf("experiment: checkpoint append: %w", err)
 	}
 	c.done[res.Config.ID()] = res
+	return nil
+}
+
+// Results returns every live journaled result, sorted by config ID — the
+// deterministic snapshot order Compact writes and sweepd's cache loads.
+func (c *Checkpoint) Results() []Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resultsLocked()
+}
+
+func (c *Checkpoint) resultsLocked() []Result {
+	out := make([]Result, 0, len(c.done))
+	for _, res := range c.done {
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Config.ID() < out[j].Config.ID()
+	})
+	return out
+}
+
+// Compact rewrites the journal to hold exactly the live results — one line
+// per config ID, last write wins — and atomically replaces the file. The
+// append-only journal otherwise grows without bound across resumes
+// (duplicate lines, torn fragments, superseded results); callers compact on
+// successful sweep completion. The journal stays open and appendable after
+// a compaction, and a compacted journal resumes identically to the
+// original.
+func (c *Checkpoint) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), filepath.Base(c.path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	for _, res := range c.resultsLocked() {
+		data, err := json.Marshal(res)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("experiment: checkpoint compact encode: %w", err)
+		}
+		data = append(data, '\n')
+		if _, err := w.Write(data); err != nil {
+			tmp.Close()
+			return fmt.Errorf("experiment: checkpoint compact write: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: checkpoint compact flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: checkpoint compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("experiment: checkpoint compact close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return fmt.Errorf("experiment: checkpoint compact rename: %w", err)
+	}
+	// Swap the open handle to the new file so later Appends land in the
+	// compacted journal, not the unlinked original.
+	f, err := os.OpenFile(c.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint compact reopen: %w", err)
+	}
+	c.f.Close()
+	c.f = f
 	return nil
 }
 

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+)
+
+// journalLines returns the journal's raw non-empty lines.
+func journalLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, l := range strings.Split(string(data), "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestCheckpointCompact: a journal bloated by resumes — superseded results,
+// torn fragments — must shrink to one line per live config ID on Compact,
+// stay appendable afterwards, and resume identically to the original.
+func TestCheckpointCompact(t *testing.T) {
+	cfgs := hardeningConfigs(3)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int, util float64) Result {
+		return Result{Config: cfgs[i].Normalize(), Utilization: util, Jain: 1, Flows: 2}
+	}
+	// Two generations of config 0 (last write wins), one of config 1, and a
+	// torn fragment as from a crash mid-append.
+	for _, res := range []Result{mk(0, 0.5), mk(1, 0.7), mk(0, 0.9)} {
+		if err := ck.Append(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ck.f.Write([]byte(`{"config":{"pairing":`)); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	ck, err = OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	before := ck.Results()
+	if len(journalLines(t, path)) != 4 { // 3 appends + healed torn line
+		t.Fatalf("pre-compact journal has %d lines, want 4", len(journalLines(t, path)))
+	}
+	if err := ck.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	lines := journalLines(t, path)
+	if len(lines) != 2 {
+		t.Fatalf("compacted journal has %d lines, want 2 (one per live config):\n%s",
+			len(lines), strings.Join(lines, "\n"))
+	}
+	if !reflect.DeepEqual(ck.Results(), before) {
+		t.Fatal("Compact changed the live result set")
+	}
+
+	// The handle must still append into the compacted file.
+	if err := ck.Append(mk(2, 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if len(journalLines(t, path)) != 3 {
+		t.Fatal("post-compact Append did not land in the compacted journal")
+	}
+
+	// A fresh open of the compacted journal resumes identically: every
+	// config is satisfied from it, nothing re-runs, and the superseded
+	// generation of config 0 is gone for good.
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 3 {
+		t.Fatalf("reloaded compacted journal has %d results, want 3", ck2.Len())
+	}
+	if res, ok := ck2.Lookup(cfgs[0].Normalize().ID()); !ok || res.Utilization != 0.9 {
+		t.Fatalf("config 0 after compact+reload: %+v, %v (want the last-written generation)", res, ok)
+	}
+	runs := withPanicOn(t) // counts runs, panics never
+	results, err := RunAllOpts(cfgs, RunAllOptions{Workers: 2, Checkpoint: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 0 {
+		t.Fatalf("resume from compacted journal re-ran %d configs, want 0", got)
+	}
+	for i, res := range results {
+		if res.Config.ID() != cfgs[i].Normalize().ID() {
+			t.Fatalf("config %d resumed out of order", i)
+		}
+	}
+}
+
+// TestCheckpointResultsSorted: Results must come back ordered by config ID
+// regardless of append order, so compaction and cache loads are
+// deterministic.
+func TestCheckpointResultsSorted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	for _, seed := range []uint64{3, 1, 2} {
+		cfg := quick100M(Pairing{cca.Cubic, cca.Cubic}, aqm.KindFIFO, 2, seed, 2*time.Second)
+		if err := ck.Append(Result{Config: cfg.Normalize(), Jain: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ck.Results()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Config.ID() >= got[i].Config.ID() {
+			t.Fatalf("Results not sorted: %s >= %s", got[i-1].Config.ID(), got[i].Config.ID())
+		}
+	}
+}

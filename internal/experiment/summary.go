@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/aqm"
@@ -24,7 +25,14 @@ type Cell struct {
 	Jain        float64
 	Utilization float64
 	Retransmits float64 // mean total retransmissions
-	N           int     // replicas averaged
+	// Harm is the asymmetric counterpart to Jain (Ware et al., HotNets
+	// '19): the mean, over replicas, of the worse sender's normalized
+	// shortfall below its fair share of the bottleneck (capacity/2). Zero
+	// when both senders hold their fair share; approaches 1 as one sender
+	// is starved. Unlike Jain it also charges utilization collapse: two
+	// senders sharing a dead link are perfectly fair but maximally harmed.
+	Harm float64
+	N    int // replicas averaged
 
 	// Replica spread (sample standard deviations; 0 when N < 2).
 	JainStd float64
@@ -58,6 +66,7 @@ func Summarize(results []Result) *Summary {
 		c.Jain += r.Jain
 		c.Utilization += r.Utilization
 		c.Retransmits += float64(r.TotalRetransmits)
+		c.Harm += resultHarm(r)
 		c.N++
 		jains[k] = append(jains[k], r.Jain)
 		utils[k] = append(utils[k], r.Utilization)
@@ -69,10 +78,27 @@ func Summarize(results []Result) *Summary {
 		c.Jain /= n
 		c.Utilization /= n
 		c.Retransmits /= n
+		c.Harm /= n
 		c.JainStd = metrics.Stddev(jains[k])
 		c.UtilStd = metrics.Stddev(utils[k])
 	}
 	return &Summary{cells: acc}
+}
+
+// resultHarm is one replica's harm: the worse sender's shortfall below its
+// fair share of the bottleneck, capacity/2 standing in for the solo
+// baseline (a lone elephant saturates the link, so its fair-share
+// entitlement under competition is half of it).
+func resultHarm(r Result) float64 {
+	fair := float64(r.Config.Bottleneck) / 2
+	h := metrics.Harm(fair, r.SenderBps[0])
+	if h2 := metrics.Harm(fair, r.SenderBps[1]); h2 > h {
+		h = h2
+	}
+	if math.IsInf(h, 1) { // zero-capacity config: no baseline to be harmed against
+		return 0
+	}
+	return h
 }
 
 // Lookup returns the cell for a condition, or nil.
@@ -174,6 +200,7 @@ type Table3Row struct {
 	AvgPhi  float64 // Avg(φ): mean utilization across all conditions
 	AvgRR   float64 // Avg(RR): mean retransmissions relative to CUBIC-vs-CUBIC
 	AvgJain float64 // Avg(J_index)
+	AvgHarm float64 // Avg(H): mean per-cell harm (asymmetric unfairness)
 }
 
 // Table3 computes the overall performance comparison: for every pairing ×
@@ -184,7 +211,7 @@ func (s *Summary) Table3() []Table3Row {
 	var rows []Table3Row
 	for _, a := range s.AQMs() {
 		for _, p := range s.Pairings() {
-			var phis, jains, rrs []float64
+			var phis, jains, harms, rrs []float64
 			for _, q := range s.QueueMults() {
 				for _, bw := range s.Bandwidths() {
 					c := s.Lookup(p, a, q, bw)
@@ -193,6 +220,7 @@ func (s *Summary) Table3() []Table3Row {
 					}
 					phis = append(phis, c.Utilization)
 					jains = append(jains, c.Jain)
+					harms = append(harms, c.Harm)
 					if ref := s.Lookup(cubicRef, a, q, bw); ref != nil {
 						rrs = append(rrs, metrics.RelativeRetransmissions(
 							uint64(c.Retransmits+0.5), uint64(ref.Retransmits+0.5)))
@@ -208,6 +236,7 @@ func (s *Summary) Table3() []Table3Row {
 				AvgPhi:  metrics.Mean(phis),
 				AvgRR:   metrics.MeanFinite(rrs),
 				AvgJain: metrics.Mean(jains),
+				AvgHarm: metrics.Mean(harms),
 			})
 		}
 	}

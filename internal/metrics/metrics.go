@@ -57,6 +57,27 @@ func RelativeRetransmissions(observed, cubicRef uint64) float64 {
 	return float64(observed) / float64(cubicRef)
 }
 
+// Harm computes the harm inflicted on an entity whose throughput (or any
+// more-is-better metric) fell from a baseline of solo to workload under
+// competition, following Ware et al., "Beyond Jain's Fairness Index"
+// (HotNets '19): harm = (solo - workload) / solo, clamped to 0 when the
+// entity did at least as well as its baseline. Unlike Jain's index, harm is
+// asymmetric — it identifies who was hurt and by how much, and a flow that
+// merely fails to exploit headroom inflicts no harm. Returns +Inf for a
+// non-positive baseline (no solo performance to be harmed relative to).
+func Harm(solo, workload float64) float64 {
+	if solo <= 0 {
+		return math.Inf(1)
+	}
+	if workload >= solo {
+		return 0
+	}
+	if workload < 0 {
+		workload = 0
+	}
+	return (solo - workload) / solo
+}
+
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -125,6 +125,66 @@ func TestRelativeRetransmissions(t *testing.T) {
 	}
 }
 
+func TestHarmKnownValues(t *testing.T) {
+	cases := []struct {
+		solo, workload float64
+		want           float64
+	}{
+		{100, 100, 0},   // no loss, no harm
+		{100, 150, 0},   // did better than solo: no harm
+		{100, 50, 0.5},  // lost half its solo throughput
+		{50, 20, 0.6},   // (50-20)/50
+		{100, 0, 1},     // starved completely
+		{100, -5, 1},    // negative workload clamps to starved
+		{10, 2.5, 0.75}, // (10-2.5)/10
+	}
+	for _, c := range cases {
+		if got := Harm(c.solo, c.workload); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harm(%v, %v) = %v, want %v", c.solo, c.workload, got, c.want)
+		}
+	}
+	if h := Harm(0, 10); !math.IsInf(h, 1) {
+		t.Errorf("Harm with zero baseline should be +Inf, got %v", h)
+	}
+	if h := Harm(-1, 10); !math.IsInf(h, 1) {
+		t.Errorf("Harm with negative baseline should be +Inf, got %v", h)
+	}
+}
+
+func TestHarmBounds(t *testing.T) {
+	// Property: 0 <= harm <= 1 for any positive baseline, and harm is
+	// antitone in workload (doing worse never decreases harm).
+	f := func(soloRaw, w1Raw, w2Raw uint16) bool {
+		solo := float64(soloRaw) + 1 // positive baseline
+		w1, w2 := float64(w1Raw), float64(w2Raw)
+		h1, h2 := Harm(solo, w1), Harm(solo, w2)
+		if h1 < 0 || h1 > 1 || h2 < 0 || h2 > 1 {
+			return false
+		}
+		if w1 <= w2 && h1 < h2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHarmAsymmetric(t *testing.T) {
+	// The defining contrast with Jain: swapping who wins changes nothing
+	// for Jain but everything for harm.
+	shares := []float64{80, 20}
+	swapped := []float64{20, 80}
+	if Jain(shares) != Jain(swapped) {
+		t.Fatal("Jain should be symmetric")
+	}
+	fair := 50.0
+	if Harm(fair, shares[1]) <= Harm(fair, shares[0]) {
+		t.Error("the starved entity should record strictly more harm")
+	}
+}
+
 func TestMeanAndStddev(t *testing.T) {
 	if Mean(nil) != 0 || Stddev(nil) != 0 {
 		t.Error("empty inputs")

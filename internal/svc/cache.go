@@ -1,0 +1,113 @@
+// Package svc is the sweep-as-a-service layer: a long-running daemon core
+// that accepts experiment.GridSpec sweeps over HTTP, schedules their
+// configurations on a sharded worker pool with per-config singleflight
+// deduplication, and serves results from a content-addressed cache keyed by
+// experiment.Config.ID() (which embeds pairing, AQM, queue, bandwidth,
+// seed, and fault profile). The cache persists through the existing JSONL
+// checkpoint journal, so a restarted daemon resumes with a warm cache and a
+// served sweep is byte-identical to a direct cmd/sweep run of the same
+// spec. cmd/sweepd wraps this package in an HTTP listener; cmd/sweep
+// -remote is its thin client.
+package svc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiment"
+)
+
+// Cache is the content-addressed result store: an in-memory index over the
+// append-only checkpoint journal. Get/Put are keyed by the result's
+// Config.ID() — the same key the sweep runner's checkpoint resume uses, so
+// a journal written by a CLI sweep warms the daemon and vice versa. Errored
+// results are never cached (they re-run on the next request, exactly like
+// checkpoint resume). Hit/miss counters feed /metrics.
+type Cache struct {
+	mu  sync.Mutex
+	ck  *experiment.Checkpoint // nil when running memory-only
+	mem map[string]experiment.Result
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// OpenCache opens the cache over the journal at path, loading every live
+// journaled result into the index. An empty path runs memory-only (results
+// do not survive a restart).
+func OpenCache(path string) (*Cache, error) {
+	c := &Cache{mem: make(map[string]experiment.Result)}
+	if path == "" {
+		return c, nil
+	}
+	ck, err := experiment.OpenCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	c.ck = ck
+	for _, res := range ck.Results() {
+		c.mem[res.Config.ID()] = res
+	}
+	return c, nil
+}
+
+// Get returns the cached result for a config ID and counts the lookup.
+func (c *Cache) Get(id string) (experiment.Result, bool) {
+	c.mu.Lock()
+	res, ok := c.mem[id]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return res, ok
+}
+
+// Put stores a completed result in the index and appends it to the
+// journal. Errored results are dropped.
+func (c *Cache) Put(res experiment.Result) error {
+	if res.Errored() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem[res.Config.ID()] = res
+	if c.ck != nil {
+		return c.ck.Append(res)
+	}
+	return nil
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Hits and Misses report the lookup counters for /metrics.
+func (c *Cache) Hits() uint64   { return c.hits.Load() }
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// Compact rewrites the journal to one line per live config ID (see
+// experiment.Checkpoint.Compact). Called after each successfully completed
+// job and on shutdown; a no-op when memory-only.
+func (c *Cache) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ck == nil {
+		return nil
+	}
+	return c.ck.Compact()
+}
+
+// Close flushes and closes the journal.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ck == nil {
+		return nil
+	}
+	return c.ck.Close()
+}

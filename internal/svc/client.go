@@ -1,0 +1,164 @@
+package svc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// Client is the thin HTTP client cmd/sweep -remote uses to drive a sweepd
+// daemon: submit a spec, follow the event stream, and fetch the result set
+// verbatim (raw bytes, preserving byte-identity with a local sweep).
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8422".
+	Base string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decodeOrError parses a JSON body into v, turning non-2xx responses into
+// errors carrying the server's message.
+func decodeOrError(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("svc: read response: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("svc: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("svc: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if v == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("svc: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit posts a spec and returns the (possibly pre-existing) job's status.
+func (c *Client) Submit(spec experiment.GridSpec) (Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return Status{}, fmt.Errorf("svc: encode spec: %w", err)
+	}
+	resp, err := c.http().Post(c.url("/v1/sweeps"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Status{}, fmt.Errorf("svc: submit: %w", err)
+	}
+	var st Status
+	if err := decodeOrError(resp, &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Status fetches a job's status.
+func (c *Client) Status(id string) (Status, error) {
+	resp, err := c.http().Get(c.url("/v1/sweeps/" + id))
+	if err != nil {
+		return Status{}, fmt.Errorf("svc: status: %w", err)
+	}
+	var st Status
+	if err := decodeOrError(resp, &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Stream follows the job's NDJSON event stream — full replay, then live —
+// invoking onEvent per line until the server ends the stream (job done or
+// cancelled) or ctx is cancelled. Note that cancelling ctx disconnects the
+// subscriber, which cancels the job's remaining work if no other subscriber
+// is attached.
+func (c *Client) Stream(ctx context.Context, id string, onEvent func(Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/sweeps/"+id+"/events"), nil)
+	if err != nil {
+		return fmt.Errorf("svc: stream: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("svc: stream: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		return decodeOrError(resp, nil)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("svc: stream decode: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+	}
+	return sc.Err()
+}
+
+// Results fetches the completed job's ResultSet as raw bytes — exactly what
+// the server wrote, so a client saving them to disk preserves byte-identity
+// with a local cmd/sweep run.
+func (c *Client) Results(id string) ([]byte, error) {
+	return c.raw("/v1/sweeps/" + id + "/results")
+}
+
+// Report fetches the completed job's markdown report. figures=false appends
+// ?figures=0.
+func (c *Client) Report(id string, figures bool) ([]byte, error) {
+	path := "/v1/sweeps/" + id + "/report"
+	if !figures {
+		path += "?figures=0"
+	}
+	return c.raw(path)
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics() ([]byte, error) {
+	return c.raw("/metrics")
+}
+
+func (c *Client) raw(path string) ([]byte, error) {
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return nil, fmt.Errorf("svc: get %s: %w", path, err)
+	}
+	if resp.StatusCode >= 300 {
+		return nil, decodeOrError(resp, nil)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("svc: read %s: %w", path, err)
+	}
+	return body, nil
+}

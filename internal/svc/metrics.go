@@ -1,0 +1,97 @@
+package svc
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// metricsSnapshot gathers every exported gauge and counter at scrape time.
+// Jobs are few (one per distinct spec), so walking the registry per scrape
+// is cheaper than maintaining racy gauges.
+type metricsSnapshot struct {
+	jobsQueued, jobsRunning, jobsDone, jobsCancelled int
+	jobsCoalesced                                    uint64
+	cacheHits, cacheMisses                           uint64
+	cacheEntries                                     int
+	configsCoalesced                                 uint64
+	sims, simEvents                                  uint64
+	simWall                                          time.Duration
+	heapInuse                                        uint64
+}
+
+func (s *Server) snapshot() metricsSnapshot {
+	var m metricsSnapshot
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		switch j.State() {
+		case StateQueued:
+			m.jobsQueued++
+		case StateRunning:
+			m.jobsRunning++
+		case StateDone:
+			m.jobsDone++
+		case StateCancelled:
+			m.jobsCancelled++
+		}
+	}
+	s.mu.Unlock()
+	m.jobsCoalesced = s.jobsCoalesced.Load()
+	m.cacheHits = s.cache.Hits()
+	m.cacheMisses = s.cache.Misses()
+	m.cacheEntries = s.cache.Len()
+	m.configsCoalesced = s.pool.Coalesced()
+	m.sims = s.pool.Sims()
+	m.simEvents = s.pool.SimEvents()
+	m.simWall = time.Duration(s.pool.SimWallNS())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.heapInuse = ms.HeapInuse
+	return m
+}
+
+// handleMetrics serves the daemon's operational counters in Prometheus
+// text exposition format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.snapshot()
+	var b strings.Builder
+	emit := func(name, kind, help string, value float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			name, help, name, kind, name, strconv.FormatFloat(value, 'g', -1, 64))
+	}
+	emit("sweepd_jobs_queued", "gauge",
+		"Jobs accepted with no configuration finished yet.", float64(m.jobsQueued))
+	emit("sweepd_jobs_running", "gauge",
+		"Jobs with at least one configuration finished and more outstanding.", float64(m.jobsRunning))
+	emit("sweepd_jobs_done", "gauge",
+		"Jobs whose every configuration has completed.", float64(m.jobsDone))
+	emit("sweepd_jobs_cancelled", "gauge",
+		"Jobs cancelled by their last event subscriber disconnecting.", float64(m.jobsCancelled))
+	emit("sweepd_jobs_coalesced_total", "counter",
+		"Submissions answered by an existing job with the same spec key.", float64(m.jobsCoalesced))
+	emit("sweepd_cache_hits_total", "counter",
+		"Configuration lookups served from the content-addressed cache.", float64(m.cacheHits))
+	emit("sweepd_cache_misses_total", "counter",
+		"Configuration lookups that required scheduling a simulation.", float64(m.cacheMisses))
+	emit("sweepd_cache_entries", "gauge",
+		"Distinct configuration results held in the cache.", float64(m.cacheEntries))
+	emit("sweepd_configs_coalesced_total", "counter",
+		"Configuration requests that joined an in-flight simulation.", float64(m.configsCoalesced))
+	emit("sweepd_sims_total", "counter",
+		"Configurations actually simulated by the pool.", float64(m.sims))
+	emit("sweepd_sim_events_total", "counter",
+		"Cumulative simulator events across all simulations.", float64(m.simEvents))
+	rate := 0.0
+	if m.simWall > 0 {
+		rate = float64(m.simEvents) / m.simWall.Seconds()
+	}
+	emit("sweepd_sim_events_per_second", "gauge",
+		"Aggregate simulator speed: events per wall-clock second of simulation.", rate)
+	emit("sweepd_heap_inuse_bytes", "gauge",
+		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).", float64(m.heapInuse))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,226 @@
+package svc
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiment"
+)
+
+// waiter is one job's claim on a scheduled configuration: when the config
+// completes, the pool delivers the result into slot idx of that job.
+type waiter struct {
+	job *Job
+	idx int
+}
+
+// poolTask is one configuration awaiting simulation, shared by every job
+// that requested it (per-config singleflight). refs counts interested jobs;
+// when cancellation drops it to zero before the task is picked up, the
+// shard worker discards it unrun.
+type poolTask struct {
+	id      string
+	cfg     experiment.Config
+	refs    int
+	waiters []waiter
+}
+
+// shard is one lane of the sharded job queue: an unbounded FIFO with a
+// dedicated worker. Configurations map to shards by FNV-1a of their config
+// ID, so a given configuration always lands on the same lane and two jobs
+// racing to schedule it serialize there instead of running it twice.
+type shard struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*poolTask
+	closed bool
+}
+
+func (sh *shard) push(t *poolTask) {
+	sh.mu.Lock()
+	sh.queue = append(sh.queue, t)
+	sh.mu.Unlock()
+	sh.cond.Signal()
+}
+
+// pop blocks until a task is available or the shard is closed. A closed
+// shard stops handing out work immediately — queued-but-unstarted tasks are
+// abandoned (graceful shutdown drains only running configurations).
+func (sh *shard) pop() (*poolTask, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		if sh.closed {
+			return nil, false
+		}
+		if len(sh.queue) > 0 {
+			t := sh.queue[0]
+			sh.queue[0] = nil
+			sh.queue = sh.queue[1:]
+			return t, true
+		}
+		sh.cond.Wait()
+	}
+}
+
+func (sh *shard) close() {
+	sh.mu.Lock()
+	sh.closed = true
+	sh.mu.Unlock()
+	sh.cond.Broadcast()
+}
+
+// Pool schedules configurations across shard workers with per-config
+// singleflight: concurrent requests for the same config ID coalesce onto
+// one simulation, and every waiter receives the single result. Simulation
+// itself goes through experiment.RunOne, so daemon work inherits the sweep
+// runner's hardening (panic recovery, watchdog budgets, optional audit).
+type Pool struct {
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]*poolTask
+
+	// run is experiment.RunOne in production; tests substitute instrumented
+	// runners.
+	run    func(experiment.Config) experiment.Result
+	onDone func(experiment.Result) // cache insertion, called before waiters
+
+	sims      atomic.Uint64 // configurations actually simulated
+	coalesced atomic.Uint64 // config requests satisfied by joining a flight
+	simEvents atomic.Uint64 // cumulative simulator events across sims
+	simWallNS atomic.Int64  // cumulative wall time spent simulating
+}
+
+// testHookBeforeSim, when non-nil, runs in the shard worker immediately
+// before a simulation — the injection point for cancellation and ordering
+// tests.
+var testHookBeforeSim func(id string)
+
+// NewPool starts a pool with the given number of shard workers (0 =
+// GOMAXPROCS). onDone, when non-nil, observes every simulated result before
+// its waiters do — the server hooks the cache here so a concurrent
+// submitter can never miss both the cache and the singleflight window.
+func NewPool(shards int, run func(experiment.Config) experiment.Result, onDone func(experiment.Result)) *Pool {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		shards:   make([]*shard, shards),
+		inflight: make(map[string]*poolTask),
+		run:      run,
+		onDone:   onDone,
+	}
+	for i := range p.shards {
+		sh := &shard{}
+		sh.cond = sync.NewCond(&sh.mu)
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go p.worker(sh)
+	}
+	return p
+}
+
+func (p *Pool) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// Do schedules the configuration for the job's slot idx, joining an
+// in-flight request for the same config ID if one exists.
+func (p *Pool) Do(id string, cfg experiment.Config, j *Job, idx int) {
+	p.mu.Lock()
+	if t, ok := p.inflight[id]; ok {
+		t.refs++
+		t.waiters = append(t.waiters, waiter{j, idx})
+		p.mu.Unlock()
+		p.coalesced.Add(1)
+		return
+	}
+	t := &poolTask{id: id, cfg: cfg, refs: 1, waiters: []waiter{{j, idx}}}
+	p.inflight[id] = t
+	p.mu.Unlock()
+	p.shardFor(id).push(t)
+}
+
+// Release withdraws a cancelled job's interest in the given config IDs.
+// Tasks whose reference count reaches zero are discarded unrun when their
+// shard worker reaches them; a task another job still wants keeps running
+// and only that job's waiters are dropped.
+func (p *Pool) Release(j *Job, ids []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		t, ok := p.inflight[id]
+		if !ok {
+			continue
+		}
+		kept := t.waiters[:0]
+		for _, w := range t.waiters {
+			if w.job == j {
+				t.refs--
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		t.waiters = kept
+	}
+}
+
+func (p *Pool) worker(sh *shard) {
+	defer p.wg.Done()
+	for {
+		t, ok := sh.pop()
+		if !ok {
+			return
+		}
+		p.mu.Lock()
+		if t.refs <= 0 { // every interested job cancelled before we got here
+			delete(p.inflight, t.id)
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Unlock()
+
+		if testHookBeforeSim != nil {
+			testHookBeforeSim(t.id)
+		}
+		res := p.run(t.cfg)
+		p.sims.Add(1)
+		p.simEvents.Add(res.Events)
+		p.simWallNS.Add(int64(res.Wall))
+		if p.onDone != nil {
+			// Cache before dropping the flight: a submitter always finds the
+			// result either here or in the inflight map, never neither.
+			p.onDone(res)
+		}
+		p.mu.Lock()
+		delete(p.inflight, t.id)
+		ws := t.waiters
+		p.mu.Unlock()
+		for _, w := range ws {
+			w.job.deliver(w.idx, res, false)
+		}
+	}
+}
+
+// Close stops the shard workers after their current simulations and waits
+// for them: running configurations drain (and reach the cache/journal);
+// queued ones are abandoned.
+func (p *Pool) Close() {
+	for _, sh := range p.shards {
+		sh.close()
+	}
+	p.wg.Wait()
+}
+
+// Sims, Coalesced, SimEvents, and SimWallNS expose the pool counters for
+// /metrics.
+func (p *Pool) Sims() uint64      { return p.sims.Load() }
+func (p *Pool) Coalesced() uint64 { return p.coalesced.Load() }
+func (p *Pool) SimEvents() uint64 { return p.simEvents.Load() }
+func (p *Pool) SimWallNS() int64  { return p.simWallNS.Load() }

@@ -1,0 +1,285 @@
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiment"
+	"repro/internal/paper"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Journal is the JSONL checkpoint path persisting the result cache
+	// ("" = memory only).
+	Journal string
+	// Shards is the worker-pool width (0 = GOMAXPROCS).
+	Shards int
+	// Audit arms the runtime invariant auditor on every configuration the
+	// daemon simulates, regardless of the submitted spec. Audit is excluded
+	// from config identity (auditing is observation-only and proven
+	// byte-identical), so forced-audit results still serve unaudited specs.
+	Audit bool
+}
+
+// Server is the sweep service: job registry, sharded pool, and
+// content-addressed cache behind an http.Handler.
+type Server struct {
+	opts  Options
+	cache *Cache
+	pool  *Pool
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	jobsCoalesced atomic.Uint64 // POSTs answered by an existing job
+}
+
+// New opens the cache (warm from the journal, if any) and starts the pool.
+func New(opts Options) (*Server, error) {
+	cache, err := OpenCache(opts.Journal)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{opts: opts, cache: cache, jobs: make(map[string]*Job)}
+	s.pool = NewPool(opts.Shards, experiment.RunOne, func(res experiment.Result) {
+		// Journal failures must not corrupt science: the result still
+		// reaches its waiters, the cache just stays cold for that config.
+		_ = s.cache.Put(res)
+	})
+	return s, nil
+}
+
+// Close gracefully shuts the service down: running configurations drain
+// (and reach the journal), queued ones are abandoned, and the journal is
+// compacted and closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.pool.Close()
+	cerr := s.cache.Compact()
+	if err := s.cache.Close(); err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a GridSpec, content-addresses it, and either
+// coalesces onto the existing job for that key or expands and schedules a
+// new one. Every configuration is first looked up in the cache; misses go
+// to the sharded pool (joining any in-flight simulation of the same
+// config).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec experiment.GridSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	canonical, err := spec.Canonical()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	key, err := spec.Key()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	cfgs, err := spec.Expand()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	if len(cfgs) == 0 {
+		httpError(w, http.StatusBadRequest, "spec expands to zero configurations")
+		return
+	}
+	if s.opts.Audit {
+		for i := range cfgs {
+			cfgs[i].Audit = true
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	if j, ok := s.jobs[key]; ok {
+		s.mu.Unlock()
+		s.jobsCoalesced.Add(1)
+		writeStatus(w, http.StatusOK, j.Status())
+		return
+	}
+	j := newJob(key, canonical, cfgs)
+	j.onComplete = func(j *Job) {
+		if st := j.Status(); st.Errored == 0 {
+			// Successful sweep completion: fold the journal down to one
+			// line per live config before it grows across jobs.
+			_ = s.cache.Compact()
+		}
+	}
+	s.jobs[key] = j
+	s.mu.Unlock()
+
+	// Fill from cache first, then schedule the misses. Scheduling happens
+	// after job registration so a concurrent identical POST coalesces onto
+	// this job instead of re-expanding.
+	for i := range cfgs {
+		if res, ok := s.cache.Get(j.ids[i]); ok {
+			j.deliver(i, res, true)
+		} else {
+			s.pool.Do(j.ids[i], cfgs[i], j, i)
+		}
+	}
+	writeStatus(w, http.StatusAccepted, j.Status())
+}
+
+func writeStatus(w http.ResponseWriter, code int, st Status) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(st)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeStatus(w, http.StatusOK, j.Status())
+	}
+}
+
+// handleEvents streams the job's progress as NDJSON, one line per completed
+// configuration: full replay for late subscribers, then live events until
+// the job finishes. When the last subscriber disconnects from a job still
+// in flight, the job's remaining work is cancelled (configurations other
+// jobs still want keep running).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	ch, replay := j.Subscribe()
+	enc := json.NewEncoder(w)
+	for _, ev := range replay {
+		enc.Encode(ev)
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev := <-ch:
+			enc.Encode(ev)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-j.Finished():
+			// Drain events that raced with completion, then end the stream.
+			for {
+				select {
+				case ev := <-ch:
+					enc.Encode(ev)
+				default:
+					j.Unsubscribe(ch)
+					if flusher != nil {
+						flusher.Flush()
+					}
+					return
+				}
+			}
+		case <-r.Context().Done():
+			if remaining, inFlight := j.Unsubscribe(ch); remaining == 0 && inFlight {
+				s.pool.Release(j, j.Cancel())
+			}
+			return
+		}
+	}
+}
+
+// handleResults serves the completed job as an experiment.ResultSet in
+// canonical grid order with the spec's deterministic provenance note —
+// byte-identical to what cmd/sweep -out writes for the same spec (modulo
+// the wall_ns timing fields, which measure the machine, not the science).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	results, ok := j.Results()
+	if !ok {
+		st := j.Status()
+		httpError(w, http.StatusConflict, "sweep not complete: state=%s done=%d/%d",
+			st.State, st.Done, st.Total)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	experiment.WriteJSON(w, &experiment.ResultSet{Note: j.Spec.Note(), Results: results})
+}
+
+// handleReport renders the completed job through the cmd/report path
+// (paper.Report): claim checklist, Table 3 comparison, and optionally the
+// figure panels (?figures=0 to omit).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	results, ok := j.Results()
+	if !ok {
+		st := j.Status()
+		httpError(w, http.StatusConflict, "sweep not complete: state=%s done=%d/%d",
+			st.State, st.Done, st.Total)
+		return
+	}
+	md := paper.Report(experiment.Summarize(results), paper.ReportOptions{
+		Note:           j.Spec.Note(),
+		IncludeFigures: r.URL.Query().Get("figures") != "0",
+	})
+	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+	w.Write([]byte(md))
+}

@@ -1,0 +1,92 @@
+#!/bin/sh
+# smoke-svc: end-to-end check of the sweep service (make smoke-svc).
+#
+# Starts sweepd on an ephemeral port over a private temp dir with -audit,
+# then proves the service contract:
+#
+#   1. a served sweep is byte-identical to a direct cmd/sweep run of the
+#      same GridSpec (modulo wall_ns, which measures the machine);
+#   2. a repeated identical POST coalesces onto the done job: byte-identical
+#      response, zero new simulations;
+#   3. an equivalent spec under a different key (audit bit toggled) is
+#      served entirely from the content-addressed cache, with the hit
+#      counter visible on /metrics;
+#   4. graceful shutdown drains and compacts the journal.
+#
+# Nonzero exit on any mismatch.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke-svc: FAIL: $*" >&2
+    [ -f "$tmp/sweepd.log" ] && sed 's/^/smoke-svc: sweepd: /' "$tmp/sweepd.log" >&2
+    exit 1
+}
+
+# The tiny grid every step submits. Must stay identical across steps 1-2.
+SPEC="-bws 100Mbps -queues 2 -aqms fifo -pairings reno:reno,cubic:cubic -duration 4s -audit"
+
+echo "smoke-svc: building sweep and sweepd" >&2
+$GO build -o "$tmp/sweep" ./cmd/sweep
+$GO build -o "$tmp/sweepd" ./cmd/sweepd
+
+"$tmp/sweepd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -journal "$tmp/journal.ckpt.jsonl" -audit 2>"$tmp/sweepd.log" &
+pid=$!
+i=0
+while [ ! -f "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not come up"
+    sleep 0.1
+done
+base="http://$(cat "$tmp/addr")"
+
+echo "smoke-svc: direct CLI sweep" >&2
+"$tmp/sweep" $SPEC -quiet -strict -out "$tmp/direct.json" >/dev/null
+
+echo "smoke-svc: served sweep via $base" >&2
+"$tmp/sweep" $SPEC -quiet -strict -remote "$base" -out "$tmp/served.json" >/dev/null
+
+grep -v '"wall_ns"' "$tmp/direct.json" >"$tmp/direct.norm"
+grep -v '"wall_ns"' "$tmp/served.json" >"$tmp/served.norm"
+cmp -s "$tmp/direct.norm" "$tmp/served.norm" || {
+    diff "$tmp/direct.norm" "$tmp/served.norm" | head -40 >&2
+    fail "served ResultSet differs from the direct CLI sweep"
+}
+
+echo "smoke-svc: repeated identical POST (must coalesce, 0 new sims)" >&2
+"$tmp/sweep" $SPEC -quiet -remote "$base" -out "$tmp/served2.json" \
+    -print-metrics >"$tmp/metrics2.txt"
+cmp -s "$tmp/served.json" "$tmp/served2.json" ||
+    fail "repeated POST served different bytes"
+sims=$(awk '$1 == "sweepd_sims_total" {print $2}' "$tmp/metrics2.txt")
+[ "$sims" = "2" ] || fail "repeated POST re-simulated: sims_total=$sims, want 2"
+
+echo "smoke-svc: equivalent spec under a new key (must serve from cache)" >&2
+"$tmp/sweep" -bws 100Mbps -queues 2 -aqms fifo -pairings reno:reno,cubic:cubic -duration 4s \
+    -quiet -remote "$base" -out "$tmp/served3.json" -print-metrics >"$tmp/metrics3.txt"
+sims=$(awk '$1 == "sweepd_sims_total" {print $2}' "$tmp/metrics3.txt")
+[ "$sims" = "2" ] || fail "cache-path job re-simulated: sims_total=$sims, want 2"
+hits=$(awk '$1 == "sweepd_cache_hits_total" {print $2}' "$tmp/metrics3.txt")
+[ "$hits" = "2" ] || fail "cache hits not visible on /metrics: got '$hits', want 2"
+
+echo "smoke-svc: graceful shutdown (drain + journal compaction)" >&2
+kill "$pid"
+wait "$pid" || fail "daemon exited non-zero on SIGTERM"
+pid=""
+lines=$(grep -c . "$tmp/journal.ckpt.jsonl") ||
+    fail "journal missing after shutdown"
+[ "$lines" = "2" ] || fail "journal not compacted: $lines lines, want 2"
+
+echo "smoke-svc: OK (served = direct, repeats coalesced, cache hits on /metrics, journal compacted)" >&2
