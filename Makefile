@@ -24,7 +24,8 @@
 #                     daemon on an ephemeral port, served sweep byte-identical
 #                     to a direct CLI run (modulo wall_ns), repeated POST
 #                     coalesced with zero new simulations, cache hits visible
-#                     on /metrics, journal compacted on graceful shutdown
+#                     on /metrics, a -duration override re-simulated (never
+#                     served stale cache), journal compacted on shutdown
 #   make fuzz-smoke — every fuzz target for a short budget, seeded from the
 #                     checked-in corpora under */testdata/fuzz
 #   make bench      — engine micro-benchmarks (0 allocs/op on reuse paths)

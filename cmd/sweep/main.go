@@ -110,7 +110,7 @@ func main() {
 		}
 		runOpts.Checkpoint = ck
 		for _, c := range cfgs {
-			if _, ok := ck.Lookup(c.Normalize().ID()); ok {
+			if _, ok := ck.Lookup(c.Key()); ok {
 				skippedAhead++
 			}
 		}

@@ -6,6 +6,9 @@
 package experiment
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -155,6 +158,27 @@ func (c Config) ID() string {
 		id += "_" + fid
 	}
 	return id
+}
+
+// Key returns the configuration's full science identity: a hex digest of
+// the normalized configuration with the fields that cannot change a run's
+// bytes — the watchdog budgets and the observation-only audit bit —
+// cleared. Unlike ID, which renders only the grid cell, seed, and fault
+// profile, Key also covers duration, paper scale, RTT, flow counts, ECN,
+// and every other science-affecting field, so two configurations share a
+// Key iff they simulate identically. The checkpoint journal and sweepd's
+// result cache are keyed by it; ID remains the human-readable label.
+func (c Config) Key() string {
+	n := c.Normalize()
+	n.MaxEvents = 0
+	n.MaxWall = 0
+	n.Audit = false
+	data, err := json.Marshal(n)
+	if err != nil { // Config is plain data; cannot happen
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:16]
 }
 
 // GridOptions controls grid generation.

@@ -51,10 +51,10 @@ func TestCheckpointLastWriteWins(t *testing.T) {
 	if ck.Len() != 2 {
 		t.Fatalf("journal with one duplicate loaded %d entries, want 2", ck.Len())
 	}
-	id := quick100M(Pairing{cca.Cubic, cca.Cubic}, aqm.KindFIFO, 2, 1, time.Second).Normalize().ID()
-	got, ok := ck.Lookup(id)
+	key := quick100M(Pairing{cca.Cubic, cca.Cubic}, aqm.KindFIFO, 2, 1, time.Second).Key()
+	got, ok := ck.Lookup(key)
 	if !ok {
-		t.Fatalf("duplicated config %s missing after reload", id)
+		t.Fatalf("duplicated config %s missing after reload", key)
 	}
 	if got.Jain != 0.999 {
 		t.Fatalf("Lookup returned Jain=%v, want the last write 0.999", got.Jain)
@@ -115,7 +115,7 @@ func FuzzCheckpointReload(f *testing.F) {
 				continue
 			}
 			j, _ := json.Marshal(res)
-			want[res.Config.ID()] = j
+			want[res.Config.Key()] = j
 		}
 		if ck.Len() != len(want) {
 			t.Fatalf("reload kept %d entries, oracle says %d", ck.Len(), len(want))
@@ -146,7 +146,7 @@ func FuzzCheckpointReload(f *testing.F) {
 			t.Fatalf("reopen after append: %v", err)
 		}
 		defer ck2.Close()
-		if got, ok := ck2.Lookup(fresh.Config.ID()); !ok || got.Jain != 0.777 {
+		if got, ok := ck2.Lookup(fresh.Config.Key()); !ok || got.Jain != 0.777 {
 			t.Fatalf("appended result lost across reopen (ok=%v)", ok)
 		}
 	})

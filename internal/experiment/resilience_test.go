@@ -198,3 +198,56 @@ func TestFaultProfileInResultIdentity(t *testing.T) {
 		t.Fatalf("watchdog budget leaked into ID: %s vs %s", base.ID(), budgeted.ID())
 	}
 }
+
+// TestConfigKeyScienceIdentity: Key must cover every field that changes a
+// run's bytes — duration, paper scale, RTT, ECN, seed, faults — and exclude
+// only the watchdog budgets and the observation-only audit bit. This is the
+// contract that keeps the checkpoint journal and sweepd's result cache from
+// ever serving a result simulated under different physics.
+func TestConfigKeyScienceIdentity(t *testing.T) {
+	base := quick100M(Pairing{cca.Cubic, cca.Cubic}, aqm.KindFIFO, 2, 1, time.Second)
+	science := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"duration", func(c *Config) { c.Duration = 2 * time.Second }},
+		{"paper_scale", func(c *Config) { c.PaperScale = true }},
+		{"seed", func(c *Config) { c.Seed = 9 }},
+		{"rtt", func(c *Config) { c.RTT = 10 * time.Millisecond }},
+		{"ecn", func(c *Config) { c.ECN = true }},
+		{"path_loss", func(c *Config) { c.PathLoss = 0.01 }},
+		{"faults", func(c *Config) {
+			c.Faults = &faults.Profile{Flaps: []faults.Flap{{At: time.Second, Down: 100 * time.Millisecond}}}
+		}},
+	}
+	for _, tc := range science {
+		mutated := base
+		tc.mut(&mutated)
+		if mutated.Key() == base.Key() {
+			t.Errorf("%s change invisible in Key %s", tc.name, base.Key())
+		}
+	}
+	observation := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"max_events", func(c *Config) { c.MaxEvents = 1 << 40 }},
+		{"max_wall", func(c *Config) { c.MaxWall = time.Hour }},
+		{"audit", func(c *Config) { c.Audit = true }},
+	}
+	for _, tc := range observation {
+		mutated := base
+		tc.mut(&mutated)
+		if mutated.Key() != base.Key() {
+			t.Errorf("%s leaked into Key: %s vs %s", tc.name, mutated.Key(), base.Key())
+		}
+	}
+	// Spelling a default explicitly is the same science as leaving it zero.
+	zero := base
+	zero.Duration = 0
+	explicit := zero
+	explicit.Duration = zero.Normalize().Duration
+	if zero.Key() != explicit.Key() {
+		t.Errorf("explicit default duration changed Key: %s vs %s", zero.Key(), explicit.Key())
+	}
+}

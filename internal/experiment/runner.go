@@ -28,9 +28,9 @@ type RunAllOptions struct {
 	// Without it the first failure is returned as the sweep error — but
 	// only after every configuration has been attempted either way.
 	KeepGoing bool
-	// Checkpoint, when set, is consulted before running (configs whose ID
-	// is already journaled are filled from it and skipped) and appended to
-	// as each configuration completes.
+	// Checkpoint, when set, is consulted before running (configs whose
+	// science identity is already journaled are filled from it and skipped)
+	// and appended to as each configuration completes.
 	Checkpoint *Checkpoint
 }
 
@@ -96,7 +96,7 @@ func RunAllOpts(cfgs []Config, o RunAllOptions) ([]Result, error) {
 	skipped := 0
 	if o.Checkpoint != nil {
 		for i := range cfgs {
-			if res, ok := o.Checkpoint.Lookup(cfgs[i].Normalize().ID()); ok {
+			if res, ok := o.Checkpoint.Lookup(cfgs[i].Key()); ok {
 				results[i] = res
 				skip[i] = true
 				skipped++

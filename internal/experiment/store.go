@@ -68,15 +68,17 @@ func LoadFile(path string) (*ResultSet, error) {
 // Checkpoint is an append-only JSONL journal of completed results, one
 // Result per line, that lets a multi-hour sweep survive a crash: the
 // runner appends each result as it finishes, and a restarted sweep opens
-// the same file and skips every configuration whose ID is already
-// journaled. Only clean results are appended — errored configurations
-// (panic, watchdog) re-run on resume. Append is safe for concurrent use by
-// the worker pool.
+// the same file and skips every configuration whose science identity
+// (Config.Key — the grid cell plus duration, paper scale, and every other
+// field that changes a run's bytes) is already journaled. Only clean
+// results are appended — errored configurations (panic, watchdog) re-run
+// on resume. Append is safe for concurrent use by the worker pool.
 type Checkpoint struct {
 	path string
 
 	mu   sync.Mutex
 	f    *os.File
+	err  error // sticky: set when the journal handle is unusable (failed Compact reopen)
 	done map[string]Result
 }
 
@@ -109,7 +111,7 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		if res.Errored() {
 			continue
 		}
-		c.done[res.Config.ID()] = res
+		c.done[res.Config.Key()] = res
 	}
 	if err := sc.Err(); err != nil {
 		f.Close()
@@ -141,11 +143,12 @@ func (c *Checkpoint) Len() int {
 	return len(c.done)
 }
 
-// Lookup returns the journaled result for a config ID, if present.
-func (c *Checkpoint) Lookup(id string) (Result, bool) {
+// Lookup returns the journaled result for a configuration's science
+// identity (Config.Key), if present.
+func (c *Checkpoint) Lookup(key string) (Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	res, ok := c.done[id]
+	res, ok := c.done[key]
 	return res, ok
 }
 
@@ -163,15 +166,20 @@ func (c *Checkpoint) Append(res Result) error {
 	data = append(data, '\n')
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
 	if _, err := c.f.Write(data); err != nil {
 		return fmt.Errorf("experiment: checkpoint append: %w", err)
 	}
-	c.done[res.Config.ID()] = res
+	c.done[res.Config.Key()] = res
 	return nil
 }
 
-// Results returns every live journaled result, sorted by config ID — the
-// deterministic snapshot order Compact writes and sweepd's cache loads.
+// Results returns every live journaled result, sorted by config ID (with
+// the science Key breaking ties between runs of the same grid cell under
+// different overrides) — the deterministic snapshot order Compact writes
+// and sweepd's cache loads.
 func (c *Checkpoint) Results() []Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -184,7 +192,11 @@ func (c *Checkpoint) resultsLocked() []Result {
 		out = append(out, res)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		return out[i].Config.ID() < out[j].Config.ID()
+		a, b := out[i].Config.ID(), out[j].Config.ID()
+		if a != b {
+			return a < b
+		}
+		return out[i].Config.Key() < out[j].Config.Key()
 	})
 	return out
 }
@@ -199,6 +211,9 @@ func (c *Checkpoint) resultsLocked() []Result {
 func (c *Checkpoint) Compact() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(c.path), filepath.Base(c.path)+".compact-*")
 	if err != nil {
 		return fmt.Errorf("experiment: checkpoint compact: %w", err)
@@ -235,7 +250,14 @@ func (c *Checkpoint) Compact() error {
 	// compacted journal, not the unlinked original.
 	f, err := os.OpenFile(c.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("experiment: checkpoint compact reopen: %w", err)
+		// The rename already replaced the on-disk journal; the old handle
+		// points at the unlinked inode, so anything appended through it
+		// would be silently lost. Mark the checkpoint unusable instead:
+		// subsequent Appends fail fast rather than vanishing.
+		c.err = fmt.Errorf("experiment: checkpoint compact reopen: %w", err)
+		c.f.Close()
+		c.f = nil
+		return c.err
 	}
 	c.f.Close()
 	c.f = f
@@ -246,5 +268,8 @@ func (c *Checkpoint) Compact() error {
 func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.f == nil {
+		return c.err
+	}
 	return c.f.Close()
 }

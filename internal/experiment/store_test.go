@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -94,7 +95,7 @@ func TestCheckpointCompact(t *testing.T) {
 	if ck2.Len() != 3 {
 		t.Fatalf("reloaded compacted journal has %d results, want 3", ck2.Len())
 	}
-	if res, ok := ck2.Lookup(cfgs[0].Normalize().ID()); !ok || res.Utilization != 0.9 {
+	if res, ok := ck2.Lookup(cfgs[0].Key()); !ok || res.Utilization != 0.9 {
 		t.Fatalf("config 0 after compact+reload: %+v, %v (want the last-written generation)", res, ok)
 	}
 	runs := withPanicOn(t) // counts runs, panics never
@@ -109,6 +110,74 @@ func TestCheckpointCompact(t *testing.T) {
 		if res.Config.ID() != cfgs[i].Normalize().ID() {
 			t.Fatalf("config %d resumed out of order", i)
 		}
+	}
+}
+
+// TestCheckpointKeyedByScience: a journaled result may only satisfy a
+// resume of the configuration that produced it. The same grid cell under a
+// different duration or paper scale is different science and must re-run;
+// the watchdog budgets and audit bit must not split the key. (Regression:
+// the journal was once keyed by Config.ID, which omits the overrides, so a
+// resume under a different -duration silently served wrong results.)
+func TestCheckpointKeyedByScience(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	cfg := quick100M(Pairing{cca.Cubic, cca.Cubic}, aqm.KindFIFO, 2, 1, time.Second)
+	if err := ck.Append(Result{Config: cfg.Normalize(), Jain: 1, Flows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ck.Lookup(cfg.Key()); !ok {
+		t.Fatal("identical config missing from journal")
+	}
+	longer := cfg
+	longer.Duration = 2 * time.Second
+	if _, ok := ck.Lookup(longer.Key()); ok {
+		t.Error("a 2s resume was served the 1s result")
+	}
+	paper := cfg
+	paper.PaperScale = true
+	if _, ok := ck.Lookup(paper.Key()); ok {
+		t.Error("a paper-scale resume was served the scaled result")
+	}
+	budgeted := cfg
+	budgeted.Audit = true
+	budgeted.MaxEvents = 1 << 40
+	if _, ok := ck.Lookup(budgeted.Key()); !ok {
+		t.Error("audit/watchdog toggles must not orphan journaled work")
+	}
+}
+
+// TestCheckpointBrokenHandleFailsFast: once the post-compact reopen has
+// failed, the old handle points at an unlinked inode — Append and Compact
+// must return the sticky error instead of silently writing into the void.
+func TestCheckpointBrokenHandleFailsFast(t *testing.T) {
+	cfgs := hardeningConfigs(2)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Append(Result{Config: cfgs[0].Normalize(), Jain: 1, Flows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Inject the state Compact leaves behind when the reopen fails.
+	ck.mu.Lock()
+	ck.err = errors.New("injected: compact reopen failed")
+	ck.f.Close()
+	ck.f = nil
+	ck.mu.Unlock()
+	if err := ck.Append(Result{Config: cfgs[1].Normalize(), Jain: 1, Flows: 2}); err == nil {
+		t.Error("Append succeeded on a broken journal handle")
+	}
+	if err := ck.Compact(); err == nil {
+		t.Error("Compact succeeded on a broken journal handle")
+	}
+	if err := ck.Close(); err == nil {
+		t.Error("Close swallowed the sticky journal error")
 	}
 }
 

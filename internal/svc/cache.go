@@ -2,12 +2,14 @@
 // that accepts experiment.GridSpec sweeps over HTTP, schedules their
 // configurations on a sharded worker pool with per-config singleflight
 // deduplication, and serves results from a content-addressed cache keyed by
-// experiment.Config.ID() (which embeds pairing, AQM, queue, bandwidth,
-// seed, and fault profile). The cache persists through the existing JSONL
-// checkpoint journal, so a restarted daemon resumes with a warm cache and a
-// served sweep is byte-identical to a direct cmd/sweep run of the same
-// spec. cmd/sweepd wraps this package in an HTTP listener; cmd/sweep
-// -remote is its thin client.
+// experiment.Config.Key() — the full science identity covering pairing,
+// AQM, queue, bandwidth, seed, fault profile, duration, paper scale, and
+// every other field that changes a run's bytes (only the observation-only
+// audit bit and the watchdog budgets are excluded). The cache persists
+// through the existing JSONL checkpoint journal, so a restarted daemon
+// resumes with a warm cache and a served sweep is byte-identical to a
+// direct cmd/sweep run of the same spec. cmd/sweepd wraps this package in
+// an HTTP listener; cmd/sweep -remote is its thin client.
 package svc
 
 import (
@@ -19,10 +21,12 @@ import (
 
 // Cache is the content-addressed result store: an in-memory index over the
 // append-only checkpoint journal. Get/Put are keyed by the result's
-// Config.ID() — the same key the sweep runner's checkpoint resume uses, so
-// a journal written by a CLI sweep warms the daemon and vice versa. Errored
-// results are never cached (they re-run on the next request, exactly like
-// checkpoint resume). Hit/miss counters feed /metrics.
+// Config.Key() — the same science identity the sweep runner's checkpoint
+// resume uses, so a journal written by a CLI sweep warms the daemon and
+// vice versa, and two specs differing only in an override like duration or
+// paper_scale can never serve each other's results. Errored results are
+// never cached (they re-run on the next request, exactly like checkpoint
+// resume). Hit/miss counters feed /metrics.
 type Cache struct {
 	mu  sync.Mutex
 	ck  *experiment.Checkpoint // nil when running memory-only
@@ -46,20 +50,34 @@ func OpenCache(path string) (*Cache, error) {
 	}
 	c.ck = ck
 	for _, res := range ck.Results() {
-		c.mem[res.Config.ID()] = res
+		c.mem[res.Config.Key()] = res
 	}
 	return c, nil
 }
 
-// Get returns the cached result for a config ID and counts the lookup.
-func (c *Cache) Get(id string) (experiment.Result, bool) {
+// Get returns the cached result for a config key and counts the lookup.
+func (c *Cache) Get(key string) (experiment.Result, bool) {
 	c.mu.Lock()
-	res, ok := c.mem[id]
+	res, ok := c.mem[key]
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
+	}
+	return res, ok
+}
+
+// peek is the pool's second-chance lookup: the same read as Get, but a
+// miss is not counted (the submitter already counted the miss that routed
+// the config to the pool). A hit still counts — the result is genuinely
+// served from cache.
+func (c *Cache) peek(key string) (experiment.Result, bool) {
+	c.mu.Lock()
+	res, ok := c.mem[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
 	}
 	return res, ok
 }
@@ -72,7 +90,7 @@ func (c *Cache) Put(res experiment.Result) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.mem[res.Config.ID()] = res
+	c.mem[res.Config.Key()] = res
 	if c.ck != nil {
 		return c.ck.Append(res)
 	}

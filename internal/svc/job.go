@@ -43,11 +43,12 @@ type Job struct {
 
 	mu       sync.Mutex
 	cfgs     []experiment.Config
-	ids      []string // cfgs[i].Normalize().ID()
+	ids      []string // cfgs[i].Normalize().ID(): human-readable labels (events, errors)
+	keys     []string // cfgs[i].Key(): science identity (cache and pool addressing)
 	results  []experiment.Result
 	filled   []bool
 	done     int
-	cached   int // slots satisfied from the cache at submit time
+	cached   int // slots satisfied from the cache, not a fresh simulation
 	errored  int
 	state    string
 	events   []Event
@@ -65,6 +66,7 @@ func newJob(id string, spec experiment.GridSpec, cfgs []experiment.Config) *Job 
 		Spec:     spec,
 		cfgs:     cfgs,
 		ids:      make([]string, len(cfgs)),
+		keys:     make([]string, len(cfgs)),
 		results:  make([]experiment.Result, len(cfgs)),
 		filled:   make([]bool, len(cfgs)),
 		state:    StateQueued,
@@ -73,6 +75,7 @@ func newJob(id string, spec experiment.GridSpec, cfgs []experiment.Config) *Job 
 	}
 	for i := range cfgs {
 		j.ids[i] = cfgs[i].Normalize().ID()
+		j.keys[i] = cfgs[i].Key()
 	}
 	return j
 }
@@ -157,7 +160,7 @@ func (j *Job) Unsubscribe(ch chan Event) (remaining int, inFlight bool) {
 	return len(j.subs), j.state == StateQueued || j.state == StateRunning
 }
 
-// Cancel marks an in-flight job cancelled and returns the config IDs of
+// Cancel marks an in-flight job cancelled and returns the science keys of
 // its unfilled slots so the caller can release them from the pool. A done
 // or already-cancelled job returns nil.
 func (j *Job) Cancel() []string {
@@ -170,7 +173,7 @@ func (j *Job) Cancel() []string {
 	var pending []string
 	for i, ok := range j.filled {
 		if !ok {
-			pending = append(pending, j.ids[i])
+			pending = append(pending, j.keys[i])
 		}
 	}
 	close(j.finished)
@@ -186,8 +189,9 @@ type Status struct {
 	Spec  experiment.GridSpec `json:"spec"`
 	Total int                 `json:"total"`
 	Done  int                 `json:"done"`
-	// Cached counts configurations skipped at submit time because the
-	// content-addressed cache already held their result.
+	// Cached counts configurations served from the content-addressed cache
+	// instead of a simulation (usually at submit time, occasionally via the
+	// pool's second-chance lookup when a flight lands mid-submit).
 	Cached int `json:"cached"`
 	// Simulated counts configurations this job actually ran (or joined in
 	// flight): Done - Cached.

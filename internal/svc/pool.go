@@ -21,15 +21,15 @@ type waiter struct {
 // when cancellation drops it to zero before the task is picked up, the
 // shard worker discards it unrun.
 type poolTask struct {
-	id      string
+	id      string // Config.Key(): the science identity
 	cfg     experiment.Config
 	refs    int
 	waiters []waiter
 }
 
 // shard is one lane of the sharded job queue: an unbounded FIFO with a
-// dedicated worker. Configurations map to shards by FNV-1a of their config
-// ID, so a given configuration always lands on the same lane and two jobs
+// dedicated worker. Configurations map to shards by FNV-1a of their science
+// key, so a given configuration always lands on the same lane and two jobs
 // racing to schedule it serialize there instead of running it twice.
 type shard struct {
 	mu     sync.Mutex
@@ -38,11 +38,18 @@ type shard struct {
 	closed bool
 }
 
-func (sh *shard) push(t *poolTask) {
+// push enqueues a task, reporting false when the shard is already closed —
+// the caller must fail the task's waiters rather than abandon them.
+func (sh *shard) push(t *poolTask) bool {
 	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return false
+	}
 	sh.queue = append(sh.queue, t)
 	sh.mu.Unlock()
 	sh.cond.Signal()
+	return true
 }
 
 // pop blocks until a task is available or the shard is closed. A closed
@@ -73,7 +80,7 @@ func (sh *shard) close() {
 }
 
 // Pool schedules configurations across shard workers with per-config
-// singleflight: concurrent requests for the same config ID coalesce onto
+// singleflight: concurrent requests for the same science key coalesce onto
 // one simulation, and every waiter receives the single result. Simulation
 // itself goes through experiment.RunOne, so daemon work inherits the sweep
 // runner's hardening (panic recovery, watchdog budgets, optional audit).
@@ -88,6 +95,11 @@ type Pool struct {
 	// runners.
 	run    func(experiment.Config) experiment.Result
 	onDone func(experiment.Result) // cache insertion, called before waiters
+	// lookup re-checks the result cache under p.mu before a new flight is
+	// created, closing the window where a worker publishes to the cache and
+	// drops its inflight entry between a submitter's cache read and its Do
+	// call — without it such a submitter would re-simulate the config.
+	lookup func(string) (experiment.Result, bool)
 
 	sims      atomic.Uint64 // configurations actually simulated
 	coalesced atomic.Uint64 // config requests satisfied by joining a flight
@@ -102,9 +114,12 @@ var testHookBeforeSim func(id string)
 
 // NewPool starts a pool with the given number of shard workers (0 =
 // GOMAXPROCS). onDone, when non-nil, observes every simulated result before
-// its waiters do — the server hooks the cache here so a concurrent
-// submitter can never miss both the cache and the singleflight window.
-func NewPool(shards int, run func(experiment.Config) experiment.Result, onDone func(experiment.Result)) *Pool {
+// its waiters do; lookup, when non-nil, is the cache read Do retries under
+// the pool lock. Together they make the singleflight airtight: a result is
+// published (onDone) before its flight is dropped, and a submitter that
+// missed the cache re-checks it (lookup) before opening a new flight, so a
+// concurrent submitter can never miss both the cache and the inflight map.
+func NewPool(shards int, run func(experiment.Config) experiment.Result, onDone func(experiment.Result), lookup func(string) (experiment.Result, bool)) *Pool {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -113,6 +128,7 @@ func NewPool(shards int, run func(experiment.Config) experiment.Result, onDone f
 		inflight: make(map[string]*poolTask),
 		run:      run,
 		onDone:   onDone,
+		lookup:   lookup,
 	}
 	for i := range p.shards {
 		sh := &shard{}
@@ -131,7 +147,10 @@ func (p *Pool) shardFor(id string) *shard {
 }
 
 // Do schedules the configuration for the job's slot idx, joining an
-// in-flight request for the same config ID if one exists.
+// in-flight request for the same science key if one exists. A flight that
+// completed between the caller's cache read and this call is caught by the
+// second-chance lookup; a pool already closed delivers an errored result
+// so the job completes instead of hanging on work that will never run.
 func (p *Pool) Do(id string, cfg experiment.Config, j *Job, idx int) {
 	p.mu.Lock()
 	if t, ok := p.inflight[id]; ok {
@@ -141,10 +160,40 @@ func (p *Pool) Do(id string, cfg experiment.Config, j *Job, idx int) {
 		p.coalesced.Add(1)
 		return
 	}
+	if p.lookup != nil {
+		// The inflight entry is gone; if the config is now cached, its
+		// flight finished in the window since the caller's miss. Results
+		// enter the cache before their flight is dropped (worker order),
+		// and both reads here happen under p.mu, so missing both means the
+		// config was genuinely never scheduled.
+		if res, ok := p.lookup(id); ok {
+			p.mu.Unlock()
+			j.deliver(idx, res, true)
+			return
+		}
+	}
 	t := &poolTask{id: id, cfg: cfg, refs: 1, waiters: []waiter{{j, idx}}}
 	p.inflight[id] = t
 	p.mu.Unlock()
-	p.shardFor(id).push(t)
+	if !p.shardFor(id).push(t) {
+		p.fail(t, "sweepd: shutting down; configuration was not scheduled")
+	}
+}
+
+// fail withdraws an unrunnable task and delivers an errored result to its
+// waiters, so their jobs complete (errored) instead of waiting forever.
+func (p *Pool) fail(t *poolTask, msg string) {
+	p.mu.Lock()
+	if p.inflight[t.id] == t {
+		delete(p.inflight, t.id)
+	}
+	ws := t.waiters
+	t.waiters = nil
+	p.mu.Unlock()
+	res := experiment.Result{Config: t.cfg.Normalize(), Error: msg}
+	for _, w := range ws {
+		w.job.deliver(w.idx, res, false)
+	}
 }
 
 // Release withdraws a cancelled job's interest in the given config IDs.
@@ -210,12 +259,25 @@ func (p *Pool) worker(sh *shard) {
 
 // Close stops the shard workers after their current simulations and waits
 // for them: running configurations drain (and reach the cache/journal);
-// queued ones are abandoned.
+// queued ones are failed with an errored result so their jobs complete and
+// polling clients see the shutdown instead of hanging on a job that will
+// never finish.
 func (p *Pool) Close() {
 	for _, sh := range p.shards {
 		sh.close()
 	}
 	p.wg.Wait()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		queued := sh.queue
+		sh.queue = nil
+		sh.mu.Unlock()
+		for _, t := range queued {
+			if t != nil {
+				p.fail(t, "sweepd: shutting down; configuration was not run")
+			}
+		}
+	}
 }
 
 // Sims, Coalesced, SimEvents, and SimWallNS expose the pool counters for

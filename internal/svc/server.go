@@ -3,6 +3,7 @@ package svc
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -49,8 +50,10 @@ func New(opts Options) (*Server, error) {
 	s.pool = NewPool(opts.Shards, experiment.RunOne, func(res experiment.Result) {
 		// Journal failures must not corrupt science: the result still
 		// reaches its waiters, the cache just stays cold for that config.
-		_ = s.cache.Put(res)
-	})
+		if err := s.cache.Put(res); err != nil {
+			log.Printf("sweepd: journal append: %v", err)
+		}
+	}, cache.peek)
 	return s, nil
 }
 
@@ -134,7 +137,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	}
-	if j, ok := s.jobs[key]; ok {
+	// A cancelled job is a tombstone, not an answer: re-POSTing the same
+	// spec must start fresh work, so only live or completed jobs coalesce.
+	if j, ok := s.jobs[key]; ok && j.State() != StateCancelled {
 		s.mu.Unlock()
 		s.jobsCoalesced.Add(1)
 		writeStatus(w, http.StatusOK, j.Status())
@@ -145,7 +150,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if st := j.Status(); st.Errored == 0 {
 			// Successful sweep completion: fold the journal down to one
 			// line per live config before it grows across jobs.
-			_ = s.cache.Compact()
+			if err := s.cache.Compact(); err != nil {
+				log.Printf("sweepd: journal compact: %v", err)
+			}
 		}
 	}
 	s.jobs[key] = j
@@ -155,10 +162,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// after job registration so a concurrent identical POST coalesces onto
 	// this job instead of re-expanding.
 	for i := range cfgs {
-		if res, ok := s.cache.Get(j.ids[i]); ok {
+		if res, ok := s.cache.Get(j.keys[i]); ok {
 			j.deliver(i, res, true)
 		} else {
-			s.pool.Do(j.ids[i], cfgs[i], j, i)
+			s.pool.Do(j.keys[i], cfgs[i], j, i)
 		}
 	}
 	writeStatus(w, http.StatusAccepted, j.Status())

@@ -266,6 +266,105 @@ func TestCacheHitPath(t *testing.T) {
 	}
 }
 
+// TestOverridesArePartOfCacheIdentity: two specs that expand to the same
+// grid cells but differ in a science-affecting override (duration, paper
+// scale) must never serve each other's cached results — each override is
+// simulated on its own. (Regression: the cache was once keyed by
+// Config.ID, which omits the overrides.)
+func TestOverridesArePartOfCacheIdentity(t *testing.T) {
+	s, client := newTestServer(t, Options{Shards: 1})
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, client, st.ID)
+	if got := s.pool.Sims(); got != 2 {
+		t.Fatalf("first job simulated %d configs, want 2", got)
+	}
+
+	longer := tinySpec()
+	longer.Duration = "2s"
+	st2, err := client.Submit(longer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == st.ID {
+		t.Fatal("duration override should be a distinct job key")
+	}
+	st2 = waitDone(t, client, st2.ID)
+	if st2.Cached != 0 || st2.Simulated != 2 {
+		t.Fatalf("2s job served 1s results from cache: %+v, want 0 cached / 2 simulated", st2)
+	}
+	if got := s.pool.Sims(); got != 4 {
+		t.Fatalf("2s job did not re-simulate: sims = %d, want 4", got)
+	}
+
+	// The served result bodies must actually differ — same grid cells,
+	// different physics. (The notes differ trivially, so compare past them.)
+	r1, err := client.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := client.Results(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(b []byte) []byte {
+		lines := bytes.SplitN(b, []byte("\n"), 3)
+		return lines[len(lines)-1]
+	}
+	if bytes.Equal(stripWall(body(r1)), stripWall(body(r2))) {
+		t.Error("1s and 2s sweeps served identical result bodies")
+	}
+}
+
+// TestPoolCloseFailsQueuedWork: configurations accepted but never started
+// must come back errored at shutdown, so their jobs complete and a polling
+// client sees the failure instead of hanging on work that will never run.
+func TestPoolCloseFailsQueuedWork(t *testing.T) {
+	started, proceed := gateSims(t)
+	p := NewPool(1, func(cfg experiment.Config) experiment.Result {
+		return experiment.Result{Config: cfg.Normalize(), Jain: 1}
+	}, nil, nil)
+	spec := tinySpec()
+	spec.Seeds = 2 // 4 configs
+	canonical, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := newJob("job", canonical, cfgs)
+	for i := range cfgs {
+		p.Do(j.keys[i], cfgs[i], j, i)
+	}
+	<-started // config 0 is on the worker; 1..3 are queued
+
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	waitFor(t, "shard close", func() bool {
+		p.shards[0].mu.Lock()
+		defer p.shards[0].mu.Unlock()
+		return p.shards[0].closed
+	})
+	close(proceed) // release the running simulation so Close can drain
+	<-closed
+
+	st := j.Status()
+	if st.State != StateDone || st.Done != 4 || st.Errored != 3 {
+		t.Fatalf("after pool close: %+v, want done with 1 clean / 3 errored", st)
+	}
+
+	// Do on an already-closed pool must fail the slot immediately.
+	j2 := newJob("job2", canonical, cfgs)
+	p.Do(j2.keys[0], cfgs[0], j2, 0)
+	if st := j2.Status(); st.Done != 1 || st.Errored != 1 {
+		t.Fatalf("Do on closed pool: %+v, want an immediate errored delivery", st)
+	}
+}
+
 func mustServer(t *testing.T, opts Options) *Server {
 	t.Helper()
 	s, err := New(opts)
@@ -386,13 +485,18 @@ func TestDisconnectCancelsRemainingWork(t *testing.T) {
 		t.Error("cancelled job served results")
 	}
 
-	// A fresh identical submission reuses the drained config from cache and
-	// simulates only the abandoned remainder.
-	spec2 := spec
-	spec2.Audit = true // new key so it does not coalesce onto the cancelled job
-	st2, err := client.Submit(spec2)
+	// Re-POSTing the identical spec must not coalesce onto the cancelled
+	// job: the tombstone is replaced by a fresh job that reuses the drained
+	// config from cache and simulates only the abandoned remainder.
+	st2, err := client.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if st2.ID != st.ID {
+		t.Fatalf("identical spec changed job ID after cancel: %s vs %s", st2.ID, st.ID)
+	}
+	if st2.State == StateCancelled {
+		t.Fatal("resubmission coalesced onto the cancelled job")
 	}
 	for i := 0; i < 3; i++ {
 		<-started

@@ -11,7 +11,9 @@
 #   3. an equivalent spec under a different key (audit bit toggled) is
 #      served entirely from the content-addressed cache, with the hit
 #      counter visible on /metrics;
-#   4. graceful shutdown drains and compacts the journal.
+#   4. the same grid under a different -duration is different science and
+#      must re-simulate, never hit the cache;
+#   5. graceful shutdown drains and compacts the journal.
 #
 # Nonzero exit on any mismatch.
 set -eu
@@ -81,12 +83,19 @@ sims=$(awk '$1 == "sweepd_sims_total" {print $2}' "$tmp/metrics3.txt")
 hits=$(awk '$1 == "sweepd_cache_hits_total" {print $2}' "$tmp/metrics3.txt")
 [ "$hits" = "2" ] || fail "cache hits not visible on /metrics: got '$hits', want 2"
 
+echo "smoke-svc: same grid, different -duration (must re-simulate)" >&2
+"$tmp/sweep" -bws 100Mbps -queues 2 -aqms fifo -pairings reno:reno,cubic:cubic -duration 5s \
+    -quiet -remote "$base" -out "$tmp/served4.json" -print-metrics >"$tmp/metrics4.txt"
+sims=$(awk '$1 == "sweepd_sims_total" {print $2}' "$tmp/metrics4.txt")
+[ "$sims" = "4" ] || fail "duration override was served stale cached results: sims_total=$sims, want 4"
+
 echo "smoke-svc: graceful shutdown (drain + journal compaction)" >&2
 kill "$pid"
 wait "$pid" || fail "daemon exited non-zero on SIGTERM"
 pid=""
 lines=$(grep -c . "$tmp/journal.ckpt.jsonl") ||
     fail "journal missing after shutdown"
-[ "$lines" = "2" ] || fail "journal not compacted: $lines lines, want 2"
+# 2 configs at 4s + the same 2 at 5s: four live science keys.
+[ "$lines" = "4" ] || fail "journal not compacted: $lines lines, want 4"
 
-echo "smoke-svc: OK (served = direct, repeats coalesced, cache hits on /metrics, journal compacted)" >&2
+echo "smoke-svc: OK (served = direct, repeats coalesced, cache hits on /metrics, overrides re-simulated, journal compacted)" >&2
