@@ -9,8 +9,10 @@
 #                     and runs every audited/metamorphic suite)
 #   make allocs     — zero-allocation event-core gates; built with !race
 #                     (the race runtime changes the allocation profile).
-#                     Auditing is off here: the gate proves the auditor costs
-#                     nothing when disabled.
+#                     Auditing and tracing are off here: the gates prove the
+#                     auditor and the telemetry tracer cost nothing when
+#                     disabled (TestAllocGuardTracingDisabled pins the same
+#                     ≤1 alloc/packet budget with the trace knobs present).
 #   make audit      — targeted invariant-auditor suites: conservation across
 #                     all AQMs, seeded-bug detection, violation-to-result
 #                     plumbing, metamorphic relations
@@ -26,6 +28,12 @@
 #                     coalesced with zero new simulations, cache hits visible
 #                     on /metrics, a -duration override re-simulated (never
 #                     served stale cache), journal compacted on shutdown
+#   make trace-smoke— end-to-end flight-recorder check (scripts/smoke_trace.sh):
+#                     tcpfair -telemetry-out records a run, cmd/timeline
+#                     renders cwnd + queue-occupancy timelines from it,
+#                     sweep -trace-dir writes per-config traces, sweepd -trace
+#                     serves the same stream over /v1/sweeps/{id}/trace, and
+#                     a traced sweep stays byte-identical to an untraced one
 #   make fuzz-smoke — every fuzz target for a short budget, seeded from the
 #                     checked-in corpora under */testdata/fuzz
 #   make bench      — engine micro-benchmarks (0 allocs/op on reuse paths)
@@ -33,9 +41,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc fuzz-smoke bench
+.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc trace-smoke fuzz-smoke bench
 
-ci: lint build test allocs audit resilience smoke smoke-svc fuzz-smoke
+ci: lint build test allocs audit resilience smoke smoke-svc trace-smoke fuzz-smoke
 
 lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
@@ -71,11 +79,15 @@ smoke:
 smoke-svc:
 	GO="$(GO)" sh scripts/smoke_svc.sh
 
+trace-smoke:
+	GO="$(GO)" sh scripts/smoke_trace.sh
+
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFaultsParse -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointReload -fuzztime $(FUZZTIME) ./internal/experiment/
 	$(GO) test -run '^$$' -fuzz FuzzAQMQueueOps -fuzztime $(FUZZTIME) ./internal/aqm/
 	$(GO) test -run '^$$' -fuzz FuzzConnAckProcessing -fuzztime $(FUZZTIME) ./internal/tcp/
+	$(GO) test -run '^$$' -fuzz FuzzParseNDJSON -fuzztime $(FUZZTIME) ./internal/telemetry/
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkTimer' -benchmem ./internal/sim/

@@ -79,6 +79,43 @@ func BenchmarkSteadyStateAllocs(b *testing.B) {
 	}
 }
 
+// TestAllocGuardTracingDisabled: the telemetry hooks threaded through the
+// hot path (tcp ACK processing, CCA OnAck, every enqueue/dequeue/drop) are
+// nil-receiver no-ops when no tracer is attached. With tracing disabled —
+// even with the observation knobs set, proving they alone arm nothing — the
+// per-packet allocation budget must be exactly the baseline's ≤ 1.
+func TestAllocGuardTracingDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2s of traffic; skipped in -short mode")
+	}
+	cfg := allocGuardConfig()
+	cfg.Trace = false
+	cfg.TraceRingCap = 4096 // ignored while Trace is false
+	cfg.TraceSampleN = 4
+
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+
+	goodputBytes := (last.SenderBps[0] + last.SenderBps[1]) * cfg.Duration.Seconds() / 8
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+	perPacket := allocs / segments
+	t.Logf("allocs/run = %.0f over %.0f segments → %.3f allocs per forwarded data packet",
+		allocs, segments, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("disabled tracing is not free: %.3f allocs per forwarded data packet "+
+			"(budget ≤ 1, identical to the pre-telemetry baseline)", perPacket)
+	}
+}
+
 // TestAllocGuardWithFaultProfile: the fault-injection path (Gilbert–Elliott
 // chain consulted per transmitted packet, flap/step timeline armed) must
 // not add per-packet allocations — the same ≤ 1 alloc budget as the clean

@@ -20,11 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/svc"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 
 		remote       = flag.String("remote", "", "submit the spec to a sweepd daemon at this base URL instead of simulating locally")
 		printMetrics = flag.Bool("print-metrics", false, "after a -remote sweep, fetch the daemon's /metrics and print it to stdout")
+		traceDir     = flag.String("trace-dir", "", "record flight-recorder telemetry for every configuration and write one <Config.Key()>.trace.ndjson per result into this directory (local mode only; reruns overwrite deterministically)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,14 @@ func main() {
 	cfgs, err := spec.Expand()
 	if err != nil {
 		fatal(err)
+	}
+	if *traceDir != "" {
+		// Tracing is observation-only and excluded from Config.Key(), so
+		// traced results keep the same science identity (checkpoints and
+		// caches still apply).
+		for i := range cfgs {
+			cfgs[i].Trace = true
+		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d configurations\n", len(cfgs))
 
@@ -127,6 +138,12 @@ func main() {
 		// Successful completion: fold the append-only journal down to one
 		// line per live config so it stops growing across resumes.
 		if err := ck.Compact(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *traceDir != "" {
+		if err := writeTraces(*traceDir, results); err != nil {
 			fatal(err)
 		}
 	}
@@ -213,6 +230,38 @@ func runRemote(base string, spec experiment.GridSpec, out string, quiet, strict,
 	if strict && st.Errored > 0 {
 		fatal(fmt.Errorf("strict: %d errored configurations", st.Errored))
 	}
+}
+
+// writeTraces writes each traced result's telemetry as NDJSON, one file per
+// configuration named by its science key so a rerun of the same spec lands
+// on the same paths. Checkpoint-skipped and errored results carry no trace
+// and are silently absent.
+func writeTraces(dir string, results []experiment.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	for i := range results {
+		r := &results[i]
+		if r.Trace == nil {
+			continue
+		}
+		path := filepath.Join(dir, r.Config.Key()+".trace.ndjson")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.EncodeNDJSON(f, r.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "sweep: wrote %d telemetry traces to %s\n", n, dir)
+	return nil
 }
 
 func countErrored(results []experiment.Result) int {

@@ -18,7 +18,11 @@
 //	                             completed configuration
 //	GET  /v1/sweeps/{id}/results merged experiment.ResultSet JSON
 //	GET  /v1/sweeps/{id}/report  paper-vs-measured markdown (cmd/report path)
-//	GET  /metrics                Prometheus text format
+//	GET  /v1/sweeps/{id}/trace   per-config telemetry NDJSON (needs -trace;
+//	                             ?config=<key> narrows to one configuration)
+//	GET  /metrics                Prometheus text format (histograms of
+//	                             per-config wall time and event rate)
+//	GET  /debug/pprof/           Go profiler (only with -pprof)
 package main
 
 import (
@@ -43,10 +47,13 @@ func main() {
 		journal  = flag.String("journal", "", "JSONL checkpoint journal persisting the result cache (empty = in-memory only)")
 		shards   = flag.Int("shards", 0, "worker-pool shards (0 = GOMAXPROCS)")
 		auditRun = flag.Bool("audit", false, "arm the runtime invariant auditor on every simulated configuration")
+		traceRun = flag.Bool("trace", false, "record flight-recorder telemetry for every simulated configuration (serves /v1/sweeps/{id}/trace)")
+		pprofOn  = flag.Bool("pprof", false, "mount the Go profiler at /debug/pprof/ (exposes internals; keep off on untrusted networks)")
 	)
 	flag.Parse()
 
-	server, err := svc.New(svc.Options{Journal: *journal, Shards: *shards, Audit: *auditRun})
+	server, err := svc.New(svc.Options{Journal: *journal, Shards: *shards,
+		Audit: *auditRun, Trace: *traceRun, Pprof: *pprofOn})
 	if err != nil {
 		fatal(err)
 	}
@@ -54,8 +61,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s (journal=%s audit=%v)\n",
-		ln.Addr(), orNone(*journal), *auditRun)
+	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s (journal=%s audit=%v trace=%v pprof=%v)\n",
+		ln.Addr(), orNone(*journal), *auditRun, *traceRun, *pprofOn)
 	if *addrFile != "" {
 		// Write-then-rename so a watching script never reads a torn address.
 		tmp := *addrFile + ".tmp"

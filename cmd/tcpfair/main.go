@@ -26,22 +26,25 @@ import (
 
 func main() {
 	var (
-		cca1      = flag.String("cca1", "cubic", "sender 1 congestion control (reno|cubic|htcp|bbr1|bbr2)")
-		cca2      = flag.String("cca2", "cubic", "sender 2 congestion control")
-		aqmName   = flag.String("aqm", "fifo", "bottleneck AQM (fifo|red|fq_codel)")
-		queue     = flag.Float64("queue", 2, "bottleneck buffer size in BDP multiples")
-		bwStr     = flag.String("bw", "1Gbps", "bottleneck bandwidth (e.g. 100Mbps, 25Gbps)")
-		duration  = flag.Duration("duration", 0, "simulated transfer time (0 = bandwidth-scaled default)")
-		flows     = flag.Int("flows", 0, "flows per sender (0 = paper's Table 2 plan, scaled)")
-		seed      = flag.Uint64("seed", 1, "replica seed")
-		rtt       = flag.Duration("rtt", 62*time.Millisecond, "end-to-end round-trip time")
-		paper     = flag.Bool("paper-scale", false, "full 200s runs and uncapped Table 2 flow counts")
-		ecn       = flag.Bool("ecn", false, "enable ECN end to end")
-		traceDir  = flag.String("trace", "", "directory for iperf3-style per-flow JSON logs")
-		interval  = flag.Duration("interval", time.Second, "interval for the per-second report")
-		quiet     = flag.Bool("quiet", false, "suppress the per-interval report")
-		faultSpec = flag.String("faults", "", "fault profile: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
-		auditRun  = flag.Bool("audit", false, "enable the runtime invariant auditor (packet conservation, queue accounting, TCP sequence sanity)")
+		cca1        = flag.String("cca1", "cubic", "sender 1 congestion control (reno|cubic|htcp|bbr1|bbr2)")
+		cca2        = flag.String("cca2", "cubic", "sender 2 congestion control")
+		aqmName     = flag.String("aqm", "fifo", "bottleneck AQM (fifo|red|fq_codel)")
+		queue       = flag.Float64("queue", 2, "bottleneck buffer size in BDP multiples")
+		bwStr       = flag.String("bw", "1Gbps", "bottleneck bandwidth (e.g. 100Mbps, 25Gbps)")
+		duration    = flag.Duration("duration", 0, "simulated transfer time (0 = bandwidth-scaled default)")
+		flows       = flag.Int("flows", 0, "flows per sender (0 = paper's Table 2 plan, scaled)")
+		seed        = flag.Uint64("seed", 1, "replica seed")
+		rtt         = flag.Duration("rtt", 62*time.Millisecond, "end-to-end round-trip time")
+		paper       = flag.Bool("paper-scale", false, "full 200s runs and uncapped Table 2 flow counts")
+		ecn         = flag.Bool("ecn", false, "enable ECN end to end")
+		traceDir    = flag.String("trace", "", "directory for iperf3-style per-flow JSON logs")
+		interval    = flag.Duration("interval", time.Second, "interval for the per-second report")
+		quiet       = flag.Bool("quiet", false, "suppress the per-interval report")
+		faultSpec   = flag.String("faults", "", "fault profile: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
+		auditRun    = flag.Bool("audit", false, "enable the runtime invariant auditor (packet conservation, queue accounting, TCP sequence sanity)")
+		telemOut    = flag.String("telemetry-out", "", "record flight-recorder telemetry and write it as NDJSON to this file (render with cmd/timeline)")
+		traceRing   = flag.Int("trace-ring", 0, "telemetry ring capacity in events per flow/port (0 = default; larger rings keep more history before overwriting)")
+		traceSample = flag.Int("trace-sample", 0, "keep 1-in-N of the high-frequency telemetry events (0 = keep all)")
 	)
 	flag.Parse()
 
@@ -86,9 +89,26 @@ func main() {
 	if !*quiet {
 		opts.IntervalWriter = os.Stdout
 	}
+	var telemFile *os.File
+	if *telemOut != "" {
+		cfg.Trace = true
+		cfg.TraceRingCap = *traceRing
+		cfg.TraceSampleN = *traceSample
+		telemFile, err = os.Create(*telemOut)
+		if err != nil {
+			fatal(err)
+		}
+		opts.TelemetryOut = telemFile
+	}
 	res, err := runDetailed(cfg, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if telemFile != nil {
+		if err := telemFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tcpfair: wrote telemetry NDJSON to %s\n", *telemOut)
 	}
 
 	fmt.Printf("\n=== %s ===\n", res.Config.ID())

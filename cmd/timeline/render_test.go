@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// sampleDump builds a dump with one flow ring and one port ring covering
+// every rendered section: cwnd growth, pacing, srtt, CCA transitions, an
+// RTO, queue occupancy, tail drops, a CoDel mark, and a high watermark.
+func sampleDump() *telemetry.Dump {
+	trc := telemetry.New(telemetry.Options{RingCap: 256})
+	fl := trc.Flow(1, "bbr1")
+	pt := trc.Port("bottleneck")
+	const ms = int64(1e6)
+	fl.CCAState(0, "startup")
+	for i := int64(0); i < 50; i++ {
+		at := i * 10 * ms
+		fl.Cwnd(at, 14480+i*2896, 1<<30)
+		fl.Pacing(at, 100e6+i*1e6)
+		fl.RTT(at, 62*ms, 62*ms+i*ms/10)
+		pt.Enqueue(at, 1, i*1500, i)
+		if i%2 == 0 {
+			pt.Dequeue(at+ms, 1, i*1500-1500, ms/2)
+		}
+	}
+	fl.CCAState(200*ms, "drain")
+	fl.CCAState(300*ms, "probe_bw")
+	fl.RTO(400*ms, 200*ms, 1)
+	pt.Drop(410*ms, 1, telemetry.DropTail, 1500, 74*1500)
+	pt.Drop(420*ms, 1, telemetry.DropTail, 1500, 74*1500)
+	pt.Mark(430*ms, 1, telemetry.MarkCoDel, 1500, 10*1500)
+	return trc.Dump()
+}
+
+func TestRenderDump(t *testing.T) {
+	var buf bytes.Buffer
+	renderDump(&buf, sampleDump(), 40)
+	out := buf.String()
+	for _, want := range []string{
+		"flow:1 (bbr1)",
+		"port:bottleneck",
+		"cwnd",
+		"pacing",
+		"srtt",
+		"queue",
+		"hiwater",
+		"startup→drain",
+		"drain→probe_bw",
+		"rto      1 fires",
+		"drops    tail=2",
+		"marks    codel_mark=1",
+		"deq f=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered timeline missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("rendered timeline contains NaN:\n%s", out)
+	}
+}
+
+func TestRenderDumpEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	renderDump(&buf, &telemetry.Dump{V: 1}, 40)
+	if !strings.Contains(buf.String(), "no events") {
+		t.Fatalf("empty dump should render a notice, got %q", buf.String())
+	}
+}
+
+// TestSplitStreamsSingle feeds one plain NDJSON dump (the tcpfair/sweep
+// file format) through splitStreams.
+func TestSplitStreamsSingle(t *testing.T) {
+	var enc bytes.Buffer
+	if err := telemetry.EncodeNDJSON(&enc, sampleDump()); err != nil {
+		t.Fatal(err)
+	}
+	sections, err := splitStreams(enc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 1 {
+		t.Fatalf("want 1 section, got %d", len(sections))
+	}
+	if sections[0].Config != "" {
+		t.Fatalf("plain dump should have no config header, got %q", sections[0].Config)
+	}
+	if got := len(sections[0].Dump.Rings); got != 2 {
+		t.Fatalf("want 2 rings after round trip, got %d", got)
+	}
+}
+
+// TestSplitStreamsSweepd feeds a sweepd /trace-style stream: dumps prefixed
+// by {"config":...} delimiter lines.
+func TestSplitStreamsSweepd(t *testing.T) {
+	var stream bytes.Buffer
+	for _, key := range []string{"aaaa", "bbbb"} {
+		stream.WriteString(`{"config":"` + key + `","id":"job-1"}` + "\n")
+		if err := telemetry.EncodeNDJSON(&stream, sampleDump()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sections, err := splitStreams(stream.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 2 {
+		t.Fatalf("want 2 sections, got %d", len(sections))
+	}
+	if sections[0].Config != "aaaa" || sections[1].Config != "bbbb" {
+		t.Fatalf("config keys not carried through: %+v", sections)
+	}
+	if sections[1].ID != "job-1" {
+		t.Fatalf("job id not carried through: %+v", sections[1])
+	}
+}
+
+func TestBinHoldForwardFill(t *testing.T) {
+	evs := []telemetry.Event{
+		{At: 0, Kind: telemetry.KindCwnd, A: 10},
+		{At: 900, Kind: telemetry.KindCwnd, A: 50},
+	}
+	vals := binHold(evs, 0, 1000, 10, func(e telemetry.Event) (float64, bool) {
+		return float64(e.A), e.Kind == telemetry.KindCwnd
+	})
+	if len(vals) != 10 {
+		t.Fatalf("want 10 bins, got %d", len(vals))
+	}
+	// Bins between the two observations hold the first value; the final bin
+	// carries the second.
+	if vals[0] != 10 || vals[5] != 10 {
+		t.Fatalf("hold-previous failed: %v", vals)
+	}
+	if vals[9] != 50 {
+		t.Fatalf("last bin should carry the last observation: %v", vals)
+	}
+}
+
+func TestBinCountRate(t *testing.T) {
+	// 4 events over 2 seconds in 2 bins -> 2 events/second in each bin.
+	evs := []telemetry.Event{
+		{At: 0, Kind: telemetry.KindDequeue},
+		{At: 4e8, Kind: telemetry.KindDequeue},
+		{At: 1.2e9, Kind: telemetry.KindDequeue},
+		{At: 1.6e9, Kind: telemetry.KindDequeue},
+	}
+	vals := binCount(evs, 0, 2e9, 2, func(e telemetry.Event) bool { return true })
+	if len(vals) != 2 || vals[0] != 2 || vals[1] != 2 {
+		t.Fatalf("want [2 2] events/sec, got %v", vals)
+	}
+}

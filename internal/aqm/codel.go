@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // CoDelParams are the RFC 8289 control-law knobs.
@@ -33,6 +34,10 @@ type codelState struct {
 	count          int      // drops since entering drop state
 	lastCount      int      // count at the previous drop-state entry
 	dropping       bool
+	// trc, when non-nil, receives the control law's drop/mark events
+	// (installed by the owning discipline's SetTrace; shared by every
+	// flow queue under FQ-CoDel).
+	trc *telemetry.PortTracer
 }
 
 // controlLaw returns the next drop time: dropNext = t + interval/sqrt(count).
@@ -86,12 +91,18 @@ func (c *codelState) dequeue(now sim.Time, src codelSource, stats *Stats) *packe
 			if c.p.ECN && (p.ECN == packet.ECT0 || p.ECN == packet.ECT1) {
 				p.ECN = packet.CE
 				stats.Marked++
+				if c.trc != nil {
+					c.trc.Mark(int64(now), uint32(p.Flow), telemetry.MarkCoDel, int64(p.Size), src.backlog())
+				}
 				c.count++
 				c.dropNext = c.controlLaw(c.dropNext)
 				return p
 			}
 			stats.Dropped++
 			stats.DroppedBytes += p.Size
+			if c.trc != nil {
+				c.trc.Drop(int64(now), uint32(p.Flow), telemetry.DropCoDel, int64(p.Size), src.backlog())
+			}
 			packet.Release(p)
 			c.count++
 			p = src.pop()
@@ -114,9 +125,15 @@ func (c *codelState) dequeue(now sim.Time, src codelSource, stats *Stats) *packe
 		if c.p.ECN && (p.ECN == packet.ECT0 || p.ECN == packet.ECT1) {
 			p.ECN = packet.CE
 			stats.Marked++
+			if c.trc != nil {
+				c.trc.Mark(int64(now), uint32(p.Flow), telemetry.MarkCoDel, int64(p.Size), src.backlog())
+			}
 		} else {
 			stats.Dropped++
 			stats.DroppedBytes += p.Size
+			if c.trc != nil {
+				c.trc.Drop(int64(now), uint32(p.Flow), telemetry.DropCoDel, int64(p.Size), src.backlog())
+			}
 			packet.Release(p)
 			p = src.pop() // may be nil; transmit the next packet if any
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -27,6 +28,15 @@ type CoDel struct {
 	// the split is needed to state the accepted-packet balance:
 	// Enqueued = Dequeued + (Dropped - doorDrops) + Len.
 	doorDrops uint64
+
+	trc *telemetry.PortTracer
+}
+
+// SetTrace implements TraceSink: the door drops and the control law's
+// dequeue drops share the port's trace ring.
+func (q *CoDel) SetTrace(t *telemetry.PortTracer) {
+	q.trc = t
+	q.ctl.trc = t
 }
 
 // NewCoDel returns a standalone CoDel queue holding at most capacity bytes.
@@ -63,6 +73,9 @@ func (q *CoDel) Enqueue(now sim.Time, p *packet.Packet) bool {
 		q.stats.Dropped++
 		q.stats.DroppedBytes += p.Size
 		q.doorDrops++
+		if q.trc != nil {
+			q.trc.Drop(int64(now), uint32(p.Flow), telemetry.DropOverlimit, int64(p.Size), int64(q.bytes))
+		}
 		packet.Release(p)
 		return false
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -16,7 +17,11 @@ type FIFO struct {
 	bytes units.ByteSize
 	cap   units.ByteSize
 	stats Stats
+	trc   *telemetry.PortTracer
 }
+
+// SetTrace implements TraceSink.
+func (q *FIFO) SetTrace(t *telemetry.PortTracer) { q.trc = t }
 
 // NewFIFO returns a tail-drop queue holding at most capacity bytes.
 func NewFIFO(capacity units.ByteSize) *FIFO {
@@ -46,6 +51,9 @@ func (q *FIFO) Enqueue(now sim.Time, p *packet.Packet) bool {
 	if q.bytes+p.Size > q.cap {
 		q.stats.Dropped++
 		q.stats.DroppedBytes += p.Size
+		if q.trc != nil {
+			q.trc.Drop(int64(now), uint32(p.Flow), telemetry.DropTail, int64(p.Size), int64(q.bytes))
+		}
 		packet.Release(p)
 		return false
 	}

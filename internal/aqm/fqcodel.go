@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -32,6 +33,17 @@ type FQCoDel struct {
 	queues   []flowQueue
 	newFlows flowList // indices into queues
 	oldFlows flowList
+
+	trc *telemetry.PortTracer
+}
+
+// SetTrace implements TraceSink: fat-flow evictions and every flow queue's
+// CoDel control law report into the same port ring.
+func (q *FQCoDel) SetTrace(t *telemetry.PortTracer) {
+	q.trc = t
+	for i := range q.queues {
+		q.queues[i].codel.trc = t
+	}
 }
 
 type flowQueue struct {
@@ -143,7 +155,7 @@ func (q *FQCoDel) Enqueue(now sim.Time, p *packet.Packet) bool {
 
 	accepted := true
 	for q.bytes > q.cap {
-		if q.dropFromFattest(idx, p) {
+		if q.dropFromFattest(now, idx, p) {
 			accepted = false // the packet we just enqueued was the victim
 		}
 	}
@@ -153,7 +165,7 @@ func (q *FQCoDel) Enqueue(now sim.Time, p *packet.Packet) bool {
 // dropFromFattest drops the head packet of the largest sub-queue. It returns
 // true when the victim is exactly the packet just enqueued (so Enqueue can
 // report a drop to the caller).
-func (q *FQCoDel) dropFromFattest(justIdx int, just *packet.Packet) bool {
+func (q *FQCoDel) dropFromFattest(now sim.Time, justIdx int, just *packet.Packet) bool {
 	fat, fatBytes := -1, int64(-1)
 	for i := range q.queues {
 		if q.queues[i].bytes > fatBytes {
@@ -173,6 +185,9 @@ func (q *FQCoDel) dropFromFattest(justIdx int, just *packet.Packet) bool {
 	q.npkts--
 	q.stats.Dropped++
 	q.stats.DroppedBytes += victim.Size
+	if q.trc != nil {
+		q.trc.Drop(int64(now), uint32(victim.Flow), telemetry.DropOverlimit, int64(victim.Size), int64(q.bytes))
+	}
 	isJust := fat == justIdx && victim == just
 	packet.Release(victim)
 	return isJust

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -49,6 +50,17 @@ type Queue interface {
 // import cycle.
 type SelfChecker interface {
 	SelfCheck() error
+}
+
+// TraceSink is the optional telemetry surface a discipline implements to
+// report its drops and ECN marks — with the per-discipline reason (tail
+// overflow, RED early vs forced, CoDel control law, fat-flow eviction) —
+// into the owning port's trace ring. The traced router port installs its
+// PortTracer here at construction; a discipline without one (or with a nil
+// tracer) emits nothing. Like SelfChecker, the interface lives in this
+// package so aqm depends only on the telemetry leaf and no cycle forms.
+type TraceSink interface {
+	SetTrace(*telemetry.PortTracer)
 }
 
 // Stats are cumulative counters every discipline maintains.

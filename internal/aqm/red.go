@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -49,6 +50,7 @@ type RED struct {
 	p   REDParams
 	ecn bool
 	rng *sim.RNG
+	trc *telemetry.PortTracer
 
 	avg       float64  // EWMA queue size, bytes
 	count     int      // packets since last drop/mark while in [minth,maxth)
@@ -109,6 +111,9 @@ func (q *RED) Stats() Stats { return q.stats }
 // AvgQueue exposes the EWMA queue estimate (for tests and telemetry).
 func (q *RED) AvgQueue() float64 { return q.avg }
 
+// SetTrace implements TraceSink.
+func (q *RED) SetTrace(t *telemetry.PortTracer) { q.trc = t }
+
 // Params returns the resolved parameter set.
 func (q *RED) Params() REDParams { return q.p }
 
@@ -147,10 +152,12 @@ func (q *RED) Enqueue(now sim.Time, p *packet.Packet) bool {
 
 	drop := false
 	mark := false
+	reason := telemetry.DropREDEarly
 	pb := q.dropProb()
 	switch {
 	case pb >= 1:
 		drop = true
+		reason = telemetry.DropREDForced
 		q.count = 0
 	case pb > 0:
 		// Spread drops: pa = pb / (1 - count·pb), Floyd & Jacobson §4.
@@ -174,16 +181,23 @@ func (q *RED) Enqueue(now sim.Time, p *packet.Packet) bool {
 
 	if !drop && q.bytes+p.Size > q.cap {
 		drop = true // hard limit, like the physical buffer overflowing
+		reason = telemetry.DropTail
 	}
 	if drop {
 		q.stats.Dropped++
 		q.stats.DroppedBytes += p.Size
+		if q.trc != nil {
+			q.trc.Drop(int64(now), uint32(p.Flow), reason, int64(p.Size), int64(q.bytes))
+		}
 		packet.Release(p)
 		return false
 	}
 	if mark {
 		p.ECN = packet.CE
 		q.stats.Marked++
+		if q.trc != nil {
+			q.trc.Mark(int64(now), uint32(p.Flow), telemetry.MarkRED, int64(p.Size), int64(q.bytes))
+		}
 	}
 	p.EnqueueAt = now
 	q.ring.push(p)

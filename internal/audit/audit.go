@@ -59,6 +59,10 @@ type Violation struct {
 	SimNanos int64  // simulation time of the breach, nanoseconds
 	Detail   string // what exactly went out of balance
 	Counters string // ledger snapshot at the moment of the breach
+	// Trace is the flight-recorder dump: when the run carries a telemetry
+	// tracer, the last events of every ring (NDJSON) captured at the moment
+	// of the breach. Empty when tracing is disabled.
+	Trace string
 }
 
 // Error implements error with the complete multi-line report.
@@ -69,6 +73,14 @@ func (v *Violation) Error() string {
 	if v.Counters != "" {
 		b.WriteString("\n")
 		b.WriteString(v.Counters)
+	}
+	if v.Trace != "" {
+		b.WriteString("\n  flight recorder (last events per ring, NDJSON):\n")
+		for _, line := range strings.Split(strings.TrimRight(v.Trace, "\n"), "\n") {
+			b.WriteString("  | ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
 	}
 	return b.String()
 }
@@ -106,6 +118,12 @@ type Auditor struct {
 	probes  []func() NetSample
 	finals  []finishCheck
 	samples []NetSample // scratch reused by snapshot/Finish
+
+	// flight, when set, captures the telemetry flight-recorder dump at the
+	// moment a violation is raised. Installed by the engine when both an
+	// auditor and a tracer are attached; consulted only on the failure
+	// path, never per packet.
+	flight func() string
 }
 
 // New returns an enabled auditor for the run identified by configID.
@@ -116,6 +134,12 @@ func New(configID string) *Auditor {
 // SetClock installs the simulation-time source used to stamp violations.
 // The engine calls this when the auditor is attached.
 func (a *Auditor) SetClock(fn func() int64) { a.clock = fn }
+
+// SetFlightRecorder installs the capture function a violation calls to
+// embed the telemetry rings' trailing events in its report. The engine
+// wires this to the run's tracer; a run without tracing leaves it nil and
+// violations carry no trace.
+func (a *Auditor) SetFlightRecorder(fn func() string) { a.flight = fn }
 
 // ConfigID returns the run identity the auditor was created with.
 func (a *Auditor) ConfigID() string { return a.configID }
@@ -158,14 +182,18 @@ func (a *Auditor) OnFinish(layer, rule string, fn func() error) {
 // Failf raises a violation: it panics with a *Violation carrying the rule,
 // the formatted detail, the simulation time and a full counter snapshot.
 func (a *Auditor) Failf(layer, rule, format string, args ...any) {
-	panic(&Violation{
+	v := &Violation{
 		Layer:    layer,
 		Rule:     rule,
 		ConfigID: a.configID,
 		SimNanos: a.now(),
 		Detail:   fmt.Sprintf(format, args...),
 		Counters: a.snapshot(),
-	})
+	}
+	if a.flight != nil {
+		v.Trace = a.flight()
+	}
+	panic(v)
 }
 
 // Checkf is Failf gated on a condition: it raises the violation when ok is

@@ -150,6 +150,9 @@ func (b *bbr1) OnAck(c *tcp.Conn, s tcp.AckSample) {
 
 	b.setPacingRate(c)
 	b.setCwnd(c, s)
+	// Every transition above funnels through here; the tracer dedupes, so
+	// this records exactly one event per state change (nil-safe when off).
+	c.Trace().CCAState(int64(now), b.state.String())
 }
 
 // checkFullPipe implements startup exit: three rounds without 25% growth.

@@ -108,9 +108,22 @@ func (b *bbr2) Init(c *tcp.Conn) {}
 func (b *bbr2) OnPacketSent(c *tcp.Conn, bytes int64) {}
 
 // State exposes the state and phase (telemetry/tests).
-func (b *bbr2) State() string {
+func (b *bbr2) State() string { return b.stateName() }
+
+// stateName returns the combined state:phase label from a fixed set of
+// constants — no concatenation, so the per-ACK trace call cannot allocate.
+func (b *bbr2) stateName() string {
 	if b.state == bbrProbeBW {
-		return "probe_bw:" + b.phase.String()
+		switch b.phase {
+		case bbr2Down:
+			return "probe_bw:down"
+		case bbr2Cruise:
+			return "probe_bw:cruise"
+		case bbr2Refill:
+			return "probe_bw:refill"
+		default:
+			return "probe_bw:up"
+		}
 	}
 	return b.state.String()
 }
@@ -175,6 +188,9 @@ func (b *bbr2) OnAck(c *tcp.Conn, s tcp.AckSample) {
 
 	b.setPacingRate(c)
 	b.setCwnd(c, s)
+	// Every state/phase transition funnels through here; the tracer dedupes,
+	// so this records exactly one event per transition (nil-safe when off).
+	c.Trace().CCAState(int64(now), b.stateName())
 }
 
 // evaluateRound applies the loss/ECN thresholds once per round trip.
@@ -205,7 +221,9 @@ func (b *bbr2) evaluateRound(c *tcp.Conn, s tcp.AckSample) {
 			// Excessive loss while probing for more bandwidth: the ceiling
 			// is real. Cut the long-term bound and stop the probe.
 			if b.inflightHi == 0 || target < b.inflightHi {
+				prev := b.inflightHi
 				b.inflightHi = target
+				c.Trace().InflightHi(int64(s.Now), b.inflightHi, prev)
 			}
 			if b.state == bbrProbeBW {
 				b.enterPhase(c, s.Now, bbr2Down)
@@ -224,7 +242,9 @@ func (b *bbr2) evaluateRound(c *tcp.Conn, s tcp.AckSample) {
 		s.Inflight >= b.inflightHi*3/4 {
 		// The probe actually tested the ceiling and survived: raise it
 		// multiplicatively so long-term growth remains possible.
+		prev := b.inflightHi
 		b.inflightHi += maxI64(b.inflightHi/4, c.MSS())
+		c.Trace().InflightHi(int64(s.Now), b.inflightHi, prev)
 	}
 
 	b.lostThisRound = 0
@@ -408,7 +428,9 @@ func (b *bbr2) OnRTO(c *tcp.Conn) {
 	if hi := b.bdpBytes(1.0); hi > 0 {
 		cut := int64(bbr2Beta * float64(hi))
 		if b.inflightHi == 0 || cut < b.inflightHi {
+			prev := b.inflightHi
 			b.inflightHi = cut
+			c.Trace().InflightHi(int64(c.Now()), b.inflightHi, prev)
 		}
 	}
 }

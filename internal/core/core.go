@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -36,6 +37,12 @@ type RunOptions struct {
 	// OnSample, when set, is called once per sample interval with the
 	// current per-sender rates (bits/sec).
 	OnSample func(at time.Duration, senderBps [2]float64)
+	// TelemetryOut, when set and cfg.Trace is armed, receives the run's
+	// full telemetry dump as NDJSON after the simulation completes.
+	TelemetryOut io.Writer
+	// OnQueueSeries, when set, is called after the run with the bottleneck
+	// queue's occupancy series, gauge-sampled every SampleInterval.
+	OnQueueSeries func(*metrics.QueueSeries)
 }
 
 // RunDetailed executes one experiment configuration like experiment.Run,
@@ -56,6 +63,20 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 		aud = audit.New(cfg.ID())
 		eng.SetAuditor(aud)
 	}
+	// Same constraint for the tracer.
+	var trc *telemetry.Tracer
+	if cfg.Trace {
+		trc = telemetry.New(telemetry.Options{
+			RingCap: cfg.TraceRingCap,
+			SampleN: cfg.TraceSampleN,
+		})
+		eng.SetTracer(trc)
+	}
+	// As in experiment.Run: the trace knobs are observation-only, so scrub
+	// them from the recorded config to keep traced results byte-identical
+	// to untraced ones wherever they serialize.
+	recCfg := cfg
+	recCfg.Trace, recCfg.TraceRingCap, recCfg.TraceSampleN = false, 0, 0
 	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
 	d, err := topo.NewDumbbell(eng, topo.Config{
 		BottleneckBW: cfg.Bottleneck,
@@ -129,9 +150,19 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	}
 	eng.Schedule(cfg.SampleInterval, tick)
 
+	var qSeries *metrics.QueueSeries
+	if opts.OnQueueSeries != nil {
+		sam := metrics.NewSampler(eng, cfg.SampleInterval)
+		qSeries = sam.TrackQueue("bottleneck", func() (int64, int) {
+			q := d.Bottleneck.Queue()
+			return int64(q.Bytes()), q.Len()
+		})
+		sam.Start()
+	}
+
 	eng.RunFor(cfg.Duration)
 	if werr := eng.Overrun(); werr != nil {
-		return experiment.Result{Config: cfg, Error: werr.Error(), Events: eng.Executed(),
+		return experiment.Result{Config: recCfg, Error: werr.Error(), Events: eng.Executed(),
 				Wall: time.Since(start)},
 			fmt.Errorf("core: %s: %w", cfg.ID(), werr)
 	}
@@ -142,7 +173,7 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	}
 
 	res := experiment.Result{
-		Config:     cfg,
+		Config:     recCfg,
 		Flows:      2 * cfg.FlowsPerSender,
 		SimSeconds: cfg.Duration.Seconds(),
 		Events:     eng.Executed(),
@@ -171,6 +202,20 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	res.SojournMax = sj.Max
 	res.FaultLossDrops = d.Bottleneck.LossDrops()
 	res.FaultDownDrops = d.Bottleneck.DownDrops()
+	pb, pp := d.Bottleneck.PeakQueue()
+	res.PeakQueueBytes = int64(pb)
+	res.PeakQueuePackets = pp
+	if trc != nil {
+		res.Trace = trc.Dump()
+		if opts.TelemetryOut != nil {
+			if err := telemetry.EncodeNDJSON(opts.TelemetryOut, res.Trace); err != nil {
+				return res, fmt.Errorf("core: telemetry: %w", err)
+			}
+		}
+	}
+	if opts.OnQueueSeries != nil {
+		opts.OnQueueSeries(qSeries)
+	}
 
 	if opts.TraceDir != "" {
 		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {

@@ -111,6 +111,17 @@ type Config struct {
 	// observes but never alters the simulation, so — like the watchdog
 	// budgets — it is not part of the configuration's identity (ID).
 	Audit bool `json:"audit,omitempty"`
+	// Trace arms the flight-recorder telemetry tracer: cwnd/RTT/CCA-state
+	// events per flow and enqueue/dequeue/drop events per port, recorded
+	// into bounded rings and returned in Result.Trace. Like Audit it
+	// observes without altering the simulation, so it is excluded from Key.
+	Trace bool `json:"trace,omitempty"`
+	// TraceRingCap overrides the per-ring event capacity (0 = default).
+	TraceRingCap int `json:"trace_ring_cap,omitempty"`
+	// TraceSampleN keeps only every Nth high-rate event (cwnd updates,
+	// enqueues/dequeues, RTT samples); 0 or 1 records them all. Drops,
+	// marks, state transitions, RTOs and faults are never sampled away.
+	TraceSampleN int `json:"trace_sample_n,omitempty"`
 }
 
 // Normalize fills defaults, returning the effective configuration.
@@ -173,6 +184,9 @@ func (c Config) Key() string {
 	n.MaxEvents = 0
 	n.MaxWall = 0
 	n.Audit = false
+	n.Trace = false
+	n.TraceRingCap = 0
+	n.TraceSampleN = 0
 	data, err := json.Marshal(n)
 	if err != nil { // Config is plain data; cannot happen
 		panic(err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -38,6 +39,10 @@ type Result struct {
 	// Bottleneck queue accounting.
 	QueueDropped uint64 `json:"queue_dropped"`
 	QueueMarked  uint64 `json:"queue_marked"`
+	// Peak bottleneck queue occupancy over the whole run, tracked by an
+	// always-on watermark in the port (present whether or not tracing ran).
+	PeakQueueBytes   int64 `json:"peak_queue_bytes"`
+	PeakQueuePackets int   `json:"peak_queue_packets"`
 	// Bottleneck queueing delay (bufferbloat evidence).
 	SojournMean time.Duration `json:"sojourn_mean_ns"`
 	SojournMax  time.Duration `json:"sojourn_max_ns"`
@@ -58,6 +63,12 @@ type Result struct {
 	SimSeconds float64       `json:"sim_seconds"`
 	Events     uint64        `json:"events"`
 	Wall       time.Duration `json:"wall_ns"`
+
+	// Trace is the telemetry dump when Config.Trace was set, nil otherwise.
+	// It is deliberately excluded from the result JSON — traces have their
+	// own NDJSON/binary encodings and their own files — so result bytes are
+	// identical with tracing on or off.
+	Trace *telemetry.Dump `json:"-"`
 }
 
 // Errored reports whether the result records a failed run.
@@ -83,6 +94,22 @@ func Run(cfg Config) (Result, error) {
 		aud = audit.New(cfg.ID())
 		eng.SetAuditor(aud)
 	}
+	// Same constraint for the tracer: flows and ports pick it up from the
+	// engine when they are built.
+	var trc *telemetry.Tracer
+	if cfg.Trace {
+		trc = telemetry.New(telemetry.Options{
+			RingCap: cfg.TraceRingCap,
+			SampleN: cfg.TraceSampleN,
+		})
+		eng.SetTracer(trc)
+	}
+	// The trace knobs are observation-only and excluded from Config.Key();
+	// scrub them from the recorded config too, so a traced result serializes
+	// byte-identically to an untraced one everywhere results land (result
+	// files, the sweepd cache, checkpoint journals).
+	recCfg := cfg
+	recCfg.Trace, recCfg.TraceRingCap, recCfg.TraceSampleN = false, 0, 0
 	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
 	d, err := topo.NewDumbbell(eng, topo.Config{
 		BottleneckBW: cfg.Bottleneck,
@@ -117,7 +144,7 @@ func Run(cfg Config) (Result, error) {
 
 	eng.RunFor(cfg.Duration)
 	if werr := eng.Overrun(); werr != nil {
-		return Result{Config: cfg, Error: werr.Error(), Events: eng.Executed(),
+		return Result{Config: recCfg, Error: werr.Error(), Events: eng.Executed(),
 				Wall: time.Since(start)},
 			fmt.Errorf("experiment %s: %w", cfg.ID(), werr)
 	}
@@ -129,7 +156,7 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res := Result{
-		Config:     cfg,
+		Config:     recCfg,
 		Flows:      2 * cfg.FlowsPerSender,
 		SimSeconds: cfg.Duration.Seconds(),
 		Events:     eng.Executed(),
@@ -153,6 +180,12 @@ func Run(cfg Config) (Result, error) {
 	qs := d.Bottleneck.Queue().Stats()
 	res.QueueDropped = qs.Dropped
 	res.QueueMarked = qs.Marked
+	pb, pp := d.Bottleneck.PeakQueue()
+	res.PeakQueueBytes = int64(pb)
+	res.PeakQueuePackets = pp
+	if trc != nil {
+		res.Trace = trc.Dump()
+	}
 	sj := d.Bottleneck.Sojourn()
 	res.SojournMean = sj.Mean
 	res.SojournMax = sj.Max

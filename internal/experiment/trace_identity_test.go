@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// TestTracingByteIdenticalResults proves tracing is observation-only: the
+// same configuration run with and without telemetry must produce
+// byte-identical result JSON (modulo wall_ns, the only wall-clock field).
+// The Trace dump itself is excluded from the JSON (json:"-"), and the trace
+// knobs are zeroed out of Config.Key(), so a traced result is
+// interchangeable with an untraced one everywhere: result files, the sweepd
+// cache, checkpoint journals.
+func TestTracingByteIdenticalResults(t *testing.T) {
+	base := Config{
+		Pairing:    Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 50 * units.MegabitPerSec,
+		Duration:   500 * time.Millisecond,
+	}
+
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := base
+	traced.Trace = true
+	traced.TraceRingCap = 2048
+	res, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("traced run returned no telemetry dump")
+	}
+	events := 0
+	for _, r := range res.Trace.Rings {
+		events += len(r.Events)
+	}
+	if events == 0 {
+		t.Fatal("traced run recorded zero events")
+	}
+
+	if plain.Config.Key() != res.Config.Key() {
+		t.Fatalf("trace knobs leaked into the science key: %s != %s",
+			plain.Config.Key(), res.Config.Key())
+	}
+
+	// Run scrubs the observation-only trace knobs from the recorded config,
+	// so after neutralizing the one legitimately nondeterministic field the
+	// serialized results must match byte for byte — configs included.
+	if res.Config.Trace || res.Config.TraceRingCap != 0 || res.Config.TraceSampleN != 0 {
+		t.Fatalf("trace knobs leaked into the recorded config: %+v", res.Config)
+	}
+	plain.Wall, res.Wall = 0, 0
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("tracing changed the result bytes:\nuntraced: %s\ntraced:   %s", a, b)
+	}
+}
+
+// TestTraceDumpRoundTripsThroughRun sanity-checks that a dump produced by a
+// real simulation survives the NDJSON codec (the path cmd/sweep -trace-dir
+// and sweepd /trace serve).
+func TestTraceDumpRoundTripsThroughRun(t *testing.T) {
+	cfg := Config{
+		Pairing:    Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 50 * units.MegabitPerSec,
+		Duration:   300 * time.Millisecond,
+		Trace:      true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.EncodeNDJSON(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := telemetry.ParseNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rings) != len(res.Trace.Rings) {
+		t.Fatalf("round trip lost rings: %d != %d", len(got.Rings), len(res.Trace.Rings))
+	}
+	for i := range got.Rings {
+		if len(got.Rings[i].Events) != len(res.Trace.Rings[i].Events) {
+			t.Fatalf("ring %s lost events: %d != %d", got.Rings[i].Name,
+				len(got.Rings[i].Events), len(res.Trace.Rings[i].Events))
+		}
+	}
+}

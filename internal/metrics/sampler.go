@@ -31,12 +31,42 @@ func (s *Series) MeanRate() units.Bandwidth {
 	return units.Bandwidth(sum / int64(len(s.Samples)))
 }
 
+// QueueSample is one gauge reading of a queue's occupancy.
+type QueueSample struct {
+	At    sim.Time
+	Bytes int64
+	Pkts  int
+}
+
+// QueueSeries is an occupancy time series for one queue. Unlike Series it
+// records instantaneous gauge values, not interval deltas.
+type QueueSeries struct {
+	Name    string
+	Samples []QueueSample
+}
+
+// Peak returns the largest sampled occupancy in bytes and packets. The two
+// maxima are taken independently (they need not occur at the same instant).
+func (s *QueueSeries) Peak() (bytes int64, pkts int) {
+	for _, p := range s.Samples {
+		if p.Bytes > bytes {
+			bytes = p.Bytes
+		}
+		if p.Pkts > pkts {
+			pkts = p.Pkts
+		}
+	}
+	return bytes, pkts
+}
+
 // Sampler polls byte counters at a fixed simulated interval and converts
-// deltas into rates — the iperf3 "interval report" of the harness.
+// deltas into rates — the iperf3 "interval report" of the harness. It can
+// also gauge-sample queue occupancy via TrackQueue.
 type Sampler struct {
 	eng      *sim.Engine
 	interval time.Duration
 	probes   []probe
+	gauges   []queueProbe
 	stopped  bool
 	timer    sim.Timer // persistent tick timer (no per-interval allocation)
 }
@@ -45,6 +75,11 @@ type probe struct {
 	series *Series
 	read   func() int64
 	last   int64
+}
+
+type queueProbe struct {
+	series *QueueSeries
+	read   func() (int64, int)
 }
 
 // NewSampler creates a sampler polling every interval.
@@ -62,6 +97,15 @@ func NewSampler(eng *sim.Engine, interval time.Duration) *Sampler {
 func (sa *Sampler) Track(name string, read func() int64) *Series {
 	s := &Series{Name: name}
 	sa.probes = append(sa.probes, probe{series: s, read: read, last: read()})
+	return s
+}
+
+// TrackQueue registers a queue-occupancy gauge (read returns current bytes
+// and packets queued) under name and returns the series that will accumulate
+// its samples on the same tick as the rate probes.
+func (sa *Sampler) TrackQueue(name string, read func() (int64, int)) *QueueSeries {
+	s := &QueueSeries{Name: name}
+	sa.gauges = append(sa.gauges, queueProbe{series: s, read: read})
 	return s
 }
 
@@ -88,6 +132,11 @@ func (sa *Sampler) OnEvent(any) {
 		rate := units.RateFromBytes(units.ByteSize(cur-p.last), sa.interval)
 		p.last = cur
 		p.series.Samples = append(p.series.Samples, Sample{At: now, Rate: rate})
+	}
+	for i := range sa.gauges {
+		g := &sa.gauges[i]
+		b, n := g.read()
+		g.series.Samples = append(g.series.Samples, QueueSample{At: now, Bytes: b, Pkts: n})
 	}
 	sa.timer.Reset(sa.interval)
 }

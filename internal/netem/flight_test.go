@@ -1,0 +1,98 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/audit"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// TestViolationCarriesFlightRecorder seeds the same accounting bug the
+// auditor test uses, but with telemetry armed: the Violation the auditor
+// raises must embed the flight-recorder dump — the trailing ring events as
+// parseable NDJSON — and the rendered report must show them. This is the
+// tracer's first consumer: a sweep failure arrives with the event history
+// that led up to it, not just a counter snapshot.
+func TestViolationCarriesFlightRecorder(t *testing.T) {
+	testHookSkipDownDropAccounting = true
+	defer func() { testHookSkipDownDropAccounting = false }()
+
+	eng := sim.NewEngine(1)
+	aud := audit.New("netem-flight")
+	eng.SetAuditor(aud)
+	trc := telemetry.New(telemetry.Options{RingCap: 1024, FlightTail: 256})
+	eng.SetTracer(trc)
+
+	q, err := aqm.New(aqm.Config{Kind: aqm.KindFIFO, Capacity: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &Sink{Auditor: aud}
+	po := NewPort(eng, "bneck", 10*units.MegabitPerSec, time.Millisecond, q, sink)
+
+	// Flap near the end of the offered load so the drain's link_down drops
+	// sit inside the flight tail rather than being overwritten by later
+	// steady-state enqueue/dequeue events.
+	injected := overdrive(eng, aud, po, 200*time.Millisecond)
+	eng.Schedule(190*time.Millisecond, func() { po.SetDown(true) })
+	eng.Schedule(195*time.Millisecond, func() { po.SetDown(false) })
+	eng.RunFor(time.Second)
+	if *injected == 0 {
+		t.Fatal("nothing injected")
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("auditor did not catch the uncounted flap drain")
+		}
+		v, ok := r.(*audit.Violation)
+		if !ok {
+			t.Fatalf("panic value is %T, want *audit.Violation", r)
+		}
+		if v.Trace == "" {
+			t.Fatal("violation carries no flight-recorder trace despite tracing enabled")
+		}
+		// The trace must be self-contained, valid telemetry NDJSON.
+		d, err := telemetry.ParseNDJSON(strings.NewReader(v.Trace))
+		if err != nil {
+			t.Fatalf("flight-recorder trace is not parseable NDJSON: %v\n%s", err, v.Trace)
+		}
+		if len(d.Rings) == 0 {
+			t.Fatal("flight-recorder dump has no rings")
+		}
+		found := false
+		for _, ring := range d.Rings {
+			if ring.Name == "port:bneck" && len(ring.Events) > 0 {
+				found = true
+				// The tail must include the link-down drops the flap caused —
+				// the events that explain the violation.
+				sawDown := false
+				for _, e := range ring.Events {
+					if e.Kind == telemetry.KindDrop && e.Aux == telemetry.DropLinkDown {
+						sawDown = true
+					}
+				}
+				if !sawDown {
+					t.Error("flight tail has no link_down drop events around the breach")
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("flight-recorder dump missing the bottleneck port ring: %+v", d.Rings)
+		}
+		// And the human-readable report embeds it.
+		msg := v.Error()
+		for _, want := range []string{"flight recorder", "  | ", "port:bneck"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("rendered violation missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	aud.Finish()
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -82,6 +83,17 @@ type Port struct {
 	sojournSum sim.Time
 	sojournMax sim.Time
 
+	// Occupancy high-watermark, maintained unconditionally: two compares
+	// per enqueue, no events, no allocation — cheap enough to keep on so
+	// every Result reports its bottleneck's peak standing queue.
+	peakQBytes units.ByteSize
+	peakQPkts  int
+
+	// trc, when non-nil, is this port's telemetry ring (picked up from the
+	// engine at construction, like the auditor). Enqueue/dequeue/drop/fault
+	// events are gated on one nil check each.
+	trc *telemetry.PortTracer
+
 	// Invariant auditing (nil = disabled; picked up from the engine at
 	// construction). The aud* counters are the auditor's independent view of
 	// the port: at end of run they must reconcile with the production
@@ -128,6 +140,15 @@ func NewPort(eng *sim.Engine, name string, rate units.Bandwidth, delay time.Dura
 		po.audSelfChecker, _ = queue.(aqm.SelfChecker)
 		a.RegisterNet(po.auditSample)
 		a.OnFinish("netem", "port-conservation", po.auditFinish)
+	}
+	if t := eng.Tracer(); t != nil {
+		po.trc = t.Port(name)
+		// The discipline shares the port's ring so its drop law's verdicts
+		// (RED early vs forced, CoDel control law, fat-flow eviction) land
+		// in the same timeline as the port's enqueues and dequeues.
+		if ts, ok := queue.(aqm.TraceSink); ok {
+			ts.SetTrace(po.trc)
+		}
 	}
 	return po
 }
@@ -205,6 +226,11 @@ func (po *Port) auditQueueOp() {
 
 // Queue exposes the port's queue (for telemetry and tests).
 func (po *Port) Queue() aqm.Queue { return po.queue }
+
+// PeakQueue returns the highest queue occupancy (bytes, packets) the port
+// has seen. Maintained unconditionally, so it is available whether or not
+// tracing or sampling is enabled.
+func (po *Port) PeakQueue() (units.ByteSize, int) { return po.peakQBytes, po.peakQPkts }
 
 // Rate returns the configured link rate.
 func (po *Port) Rate() units.Bandwidth { return po.rate }
@@ -321,6 +347,9 @@ func (po *Port) SetAllowReorder(allow bool) { po.allowReorder = allow }
 func (po *Port) SetRate(rate units.Bandwidth) {
 	if rate > 0 {
 		po.rate = rate
+		if po.trc != nil {
+			po.trc.Fault(int64(po.eng.Now()), telemetry.FaultRate, int64(rate), 0)
+		}
 	}
 }
 
@@ -336,6 +365,9 @@ func (po *Port) SetDelay(d time.Duration) {
 		d = 0
 	}
 	po.delay = d
+	if po.trc != nil {
+		po.trc.Fault(int64(po.eng.Now()), telemetry.FaultDelay, d.Nanoseconds(), 0)
+	}
 }
 
 // SetDown flaps the link carrier. Taking the port down drains and drops
@@ -350,6 +382,7 @@ func (po *Port) SetDown(down bool) {
 	po.down = down
 	if down {
 		now := po.eng.Now()
+		var drained int64
 		for {
 			p := po.queue.Dequeue(now)
 			if p == nil {
@@ -358,12 +391,23 @@ func (po *Port) SetDown(down bool) {
 			if !testHookSkipDownDropAccounting {
 				po.downDrops++
 			}
+			drained++
+			if po.trc != nil {
+				po.trc.Drop(int64(now), uint32(p.Flow), telemetry.DropLinkDown,
+					int64(p.Size), int64(po.queue.Bytes()))
+			}
 			packet.Release(p)
+		}
+		if po.trc != nil {
+			po.trc.Fault(int64(now), telemetry.FaultDown, 0, drained)
 		}
 		if po.aud != nil {
 			po.auditQueueOp()
 		}
 		return
+	}
+	if po.trc != nil {
+		po.trc.Fault(int64(po.eng.Now()), telemetry.FaultUp, 0, 0)
 	}
 	if !po.busy {
 		po.transmitNext()
@@ -390,6 +434,10 @@ func (po *Port) Send(p *packet.Packet) {
 	}
 	if po.down {
 		po.downDrops++
+		if po.trc != nil {
+			po.trc.Drop(int64(po.eng.Now()), uint32(p.Flow), telemetry.DropLinkDown,
+				int64(p.Size), int64(po.queue.Bytes()))
+		}
 		packet.Release(p)
 		return
 	}
@@ -401,7 +449,16 @@ func (po *Port) Send(p *packet.Packet) {
 		if po.aud != nil {
 			po.auditQueueOp()
 		}
-		return // queue dropped (and released) it
+		return // queue dropped (and released) it; the discipline traced it
+	}
+	if qb := po.queue.Bytes(); qb > po.peakQBytes {
+		po.peakQBytes = qb
+	}
+	if n := po.queue.Len(); n > po.peakQPkts {
+		po.peakQPkts = n
+	}
+	if po.trc != nil {
+		po.trc.Enqueue(int64(now), uint32(p.Flow), int64(po.queue.Bytes()), int64(po.queue.Len()))
 	}
 	if po.aud != nil {
 		po.auditQueueOp()
@@ -437,6 +494,9 @@ func (po *Port) transmitNext() {
 			po.sojournMax = sojourn
 		}
 	}
+	if po.trc != nil {
+		po.trc.Dequeue(int64(now), uint32(p.Flow), int64(po.queue.Bytes()), int64(sojourn))
+	}
 	txTime := units.TransmissionTime(p.Size, po.rate)
 	po.eng.ScheduleHandler(txTime, &po.txDoneH, p)
 }
@@ -466,17 +526,29 @@ func (h *portTxDone) OnEvent(arg any) {
 		if po.aud != nil {
 			po.audInFlight--
 		}
+		if po.trc != nil {
+			po.trc.Drop(int64(po.eng.Now()), uint32(p.Flow), telemetry.DropLinkDown,
+				int64(p.Size), int64(po.queue.Bytes()))
+		}
 		packet.Release(p)
 	case po.ge.enabled && po.ge.step(po.rng):
 		po.lossDrops++
 		if po.aud != nil {
 			po.audInFlight--
 		}
+		if po.trc != nil {
+			po.trc.Drop(int64(po.eng.Now()), uint32(p.Flow), telemetry.DropLoss,
+				int64(p.Size), int64(po.queue.Bytes()))
+		}
 		packet.Release(p)
 	case po.lossRate > 0 && po.rng.Float64() < po.lossRate:
 		po.lossDrops++
 		if po.aud != nil {
 			po.audInFlight--
+		}
+		if po.trc != nil {
+			po.trc.Drop(int64(po.eng.Now()), uint32(p.Flow), telemetry.DropLoss,
+				int64(p.Size), int64(po.queue.Bytes()))
 		}
 		packet.Release(p)
 	default:

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/telemetry"
 )
 
 // Time is a simulation timestamp in nanoseconds since the start of the run.
@@ -170,6 +171,13 @@ type Engine struct {
 	// gated on a single nil test so a disabled engine pays one predictable
 	// branch and zero allocations.
 	aud *audit.Auditor
+
+	// trc, when non-nil, is the run's telemetry tracer. The engine never
+	// emits events itself — components discover the tracer at construction
+	// (like the auditor) and hold their own flow/port tracers — but it is
+	// the rendezvous point, and it wires the auditor's flight recorder when
+	// both are attached.
+	trc *telemetry.Tracer
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic RNG
@@ -205,6 +213,7 @@ func (e *Engine) SetAuditor(a *audit.Auditor) {
 		return
 	}
 	a.SetClock(func() int64 { return int64(e.now) })
+	e.wireFlightRecorder()
 	a.OnFinish("sim", "quiescence", func() error {
 		if len(e.queue) > 0 && e.queue[0].at < e.now {
 			return fmt.Errorf("event due at %v still queued after run ended at %v (%d pending)",
@@ -217,6 +226,32 @@ func (e *Engine) SetAuditor(a *audit.Auditor) {
 // Auditor returns the attached invariant auditor, or nil when auditing is
 // disabled.
 func (e *Engine) Auditor() *audit.Auditor { return e.aud }
+
+// SetTracer attaches (or, with nil, detaches) the run's telemetry tracer.
+// Like SetAuditor it must be called before topology construction so
+// components can discover it. When the engine also carries an auditor, the
+// auditor's flight recorder is wired to the tracer: a Violation then embeds
+// the trailing events of every ring at the moment of the breach.
+func (e *Engine) SetTracer(t *telemetry.Tracer) {
+	e.trc = t
+	e.wireFlightRecorder()
+}
+
+// Tracer returns the attached telemetry tracer, or nil when tracing is
+// disabled.
+func (e *Engine) Tracer() *telemetry.Tracer { return e.trc }
+
+func (e *Engine) wireFlightRecorder() {
+	if e.aud == nil {
+		return
+	}
+	if e.trc == nil {
+		e.aud.SetFlightRecorder(nil)
+		return
+	}
+	t := e.trc
+	e.aud.SetFlightRecorder(func() string { return t.TailNDJSON(0) })
+}
 
 // Schedule queues fn to run after delay. A negative delay is clamped to zero
 // (runs at the current time, after already-queued same-time events). The

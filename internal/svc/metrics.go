@@ -9,6 +9,36 @@ import (
 	"time"
 )
 
+// histogram is a fixed-bucket Prometheus-style histogram. It is plain data;
+// the owner serializes access (the pool holds it under histMu).
+type histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []uint64  // len(bounds)+1, last bucket is +Inf
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds ...float64) histogram {
+	return histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+func (h *histogram) clone() histogram {
+	c := *h
+	c.bounds = append([]float64(nil), h.bounds...)
+	c.counts = append([]uint64(nil), h.counts...)
+	return c
+}
+
 // metricsSnapshot gathers every exported gauge and counter at scrape time.
 // Jobs are few (one per distinct spec), so walking the registry per scrape
 // is cheaper than maintaining racy gauges.
@@ -92,6 +122,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Aggregate simulator speed: events per wall-clock second of simulation.", rate)
 	emit("sweepd_heap_inuse_bytes", "gauge",
 		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).", float64(m.heapInuse))
+
+	emitHist := func(name, help string, h histogram) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n",
+				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.count)
+	}
+	wallHist, rateHist, peakQ := s.pool.Histograms()
+	emitHist("sweepd_sim_wall_seconds",
+		"Wall-clock duration of each simulated configuration.", wallHist)
+	emitHist("sweepd_sim_config_events_per_second",
+		"Simulator event rate of each simulated configuration.", rateHist)
+	emit("sweepd_sim_peak_queue_bytes", "gauge",
+		"Largest bottleneck-queue occupancy (bytes) any simulated configuration reached.", float64(peakQ))
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
 }

@@ -105,6 +105,14 @@ type Pool struct {
 	coalesced atomic.Uint64 // config requests satisfied by joining a flight
 	simEvents atomic.Uint64 // cumulative simulator events across sims
 	simWallNS atomic.Int64  // cumulative wall time spent simulating
+
+	// Per-config distributions for /metrics (guarded by histMu: observations
+	// are one per simulation and scrapes are rare, so a lock beats juggling
+	// per-bucket atomics).
+	histMu    sync.Mutex
+	wallHist  histogram // wall seconds per simulated config
+	rateHist  histogram // simulator events/sec per simulated config
+	peakQueue int64     // largest Result.PeakQueueBytes observed
 }
 
 // testHookBeforeSim, when non-nil, runs in the shard worker immediately
@@ -129,6 +137,8 @@ func NewPool(shards int, run func(experiment.Config) experiment.Result, onDone f
 		run:      run,
 		onDone:   onDone,
 		lookup:   lookup,
+		wallHist: newHistogram(0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300),
+		rateHist: newHistogram(1e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8),
 	}
 	for i := range p.shards {
 		sh := &shard{}
@@ -242,6 +252,7 @@ func (p *Pool) worker(sh *shard) {
 		p.sims.Add(1)
 		p.simEvents.Add(res.Events)
 		p.simWallNS.Add(int64(res.Wall))
+		p.recordSim(res)
 		if p.onDone != nil {
 			// Cache before dropping the flight: a submitter always finds the
 			// result either here or in the inflight map, never neither.
@@ -278,6 +289,30 @@ func (p *Pool) Close() {
 			}
 		}
 	}
+}
+
+// recordSim folds one simulated result into the per-config distributions.
+func (p *Pool) recordSim(res experiment.Result) {
+	wall := res.Wall.Seconds()
+	rate := 0.0
+	if wall > 0 {
+		rate = float64(res.Events) / wall
+	}
+	p.histMu.Lock()
+	p.wallHist.observe(wall)
+	p.rateHist.observe(rate)
+	if res.PeakQueueBytes > p.peakQueue {
+		p.peakQueue = res.PeakQueueBytes
+	}
+	p.histMu.Unlock()
+}
+
+// Histograms returns deep copies of the per-config distributions and the
+// largest bottleneck-queue occupancy observed, for /metrics.
+func (p *Pool) Histograms() (wall, rate histogram, peakQueueBytes int64) {
+	p.histMu.Lock()
+	defer p.histMu.Unlock()
+	return p.wallHist.clone(), p.rateHist.clone(), p.peakQueue
 }
 
 // Sims, Coalesced, SimEvents, and SimWallNS expose the pool counters for

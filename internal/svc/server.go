@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/experiment"
 	"repro/internal/paper"
+	"repro/internal/telemetry"
 )
 
 // Options configure a Server.
@@ -24,6 +26,14 @@ type Options struct {
 	// from config identity (auditing is observation-only and proven
 	// byte-identical), so forced-audit results still serve unaudited specs.
 	Audit bool
+	// Trace arms the flight-recorder telemetry tracer on every configuration
+	// the daemon simulates, making GET /v1/sweeps/{id}/trace serve event
+	// timelines. Like Audit, tracing is observation-only and excluded from
+	// config identity, so traced results still serve untraced specs.
+	Trace bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ (default off: the
+	// profiler exposes heap contents and should not face untrusted clients).
+	Pprof bool
 }
 
 // Server is the sweep service: job registry, sharded pool, and
@@ -80,10 +90,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if s.opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -128,6 +146,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Audit {
 		for i := range cfgs {
 			cfgs[i].Audit = true
+		}
+	}
+	if s.opts.Trace {
+		for i := range cfgs {
+			cfgs[i].Trace = true
 		}
 	}
 
@@ -266,6 +289,55 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	experiment.WriteJSON(w, &experiment.ResultSet{Note: j.Spec.Note(), Results: results})
+}
+
+// handleTrace streams the completed job's telemetry as NDJSON: for each
+// configuration that carries a trace, a header line naming the config
+// (science key and human-readable ID) followed by the trace's own NDJSON
+// encoding. ?config=<key> narrows the stream to one configuration. Results
+// served from the journal-warmed cache carry no trace (traces live in
+// memory only), so those configurations are silently absent; a stream with
+// nothing to say is a 404 pointing at the -trace flag.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	results, ok := j.Results()
+	if !ok {
+		st := j.Status()
+		httpError(w, http.StatusConflict, "sweep not complete: state=%s done=%d/%d",
+			st.State, st.Done, st.Total)
+		return
+	}
+	want := r.URL.Query().Get("config")
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	for i := range results {
+		res := &results[i]
+		if want != "" && want != j.keys[i] {
+			continue
+		}
+		if res.Trace == nil {
+			continue
+		}
+		if n == 0 {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		fmt.Fprintf(w, "{\"config\":%q,\"id\":%q}\n", j.keys[i], res.Config.ID())
+		if err := telemetry.EncodeNDJSON(w, res.Trace); err != nil {
+			return // client went away mid-stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		n++
+	}
+	if n == 0 {
+		httpError(w, http.StatusNotFound,
+			"no telemetry recorded for this sweep (start sweepd with -trace, or the results were served from the journal)")
+	}
 }
 
 // handleReport renders the completed job through the cmd/report path

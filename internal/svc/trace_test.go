@@ -1,0 +1,246 @@
+package svc
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTraceEndpoint: with -trace armed, a completed sweep serves one NDJSON
+// telemetry stream per configuration, each introduced by a {"config",...}
+// header line, and ?config= narrows to one configuration. The dumps must
+// survive the strict parser after the headers are stripped.
+func TestTraceEndpoint(t *testing.T) {
+	_, client := newTestServer(t, Options{Shards: 1, Trace: true})
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, client, st.ID)
+	if st.Simulated != 2 {
+		t.Fatalf("final status: %+v", st)
+	}
+
+	resp, err := client.http().Get(client.url("/v1/sweeps/" + st.ID + "/trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the stream the same way cmd/timeline does: header lines
+	// delimit per-config dumps.
+	var keys []string
+	var chunks []string
+	var cur strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, `{"config":`) {
+			if cur.Len() > 0 {
+				chunks = append(chunks, cur.String())
+				cur.Reset()
+			}
+			keys = append(keys, line)
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteString("\n")
+	}
+	if cur.Len() > 0 {
+		chunks = append(chunks, cur.String())
+	}
+	if len(keys) != 2 || len(chunks) != 2 {
+		t.Fatalf("want 2 config sections, got %d headers / %d dumps:\n%s", len(keys), len(chunks), body)
+	}
+	for i, chunk := range chunks {
+		d, err := telemetry.ParseNDJSON(strings.NewReader(chunk))
+		if err != nil {
+			t.Fatalf("section %d is not valid telemetry NDJSON: %v", i, err)
+		}
+		events := 0
+		for _, ring := range d.Rings {
+			events += len(ring.Events)
+		}
+		if events == 0 {
+			t.Fatalf("section %d recorded no events", i)
+		}
+	}
+
+	// ?config= narrows to one configuration.
+	key := keys[0]
+	key = key[strings.Index(key, `:"`)+2:]
+	key = key[:strings.Index(key, `"`)]
+	resp2, err := client.http().Get(client.url("/v1/sweeps/" + st.ID + "/trace?config=" + key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	narrowed, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(narrowed), `{"config":`); got != 1 {
+		t.Fatalf("?config= filter served %d sections, want 1:\n%s", got, narrowed)
+	}
+
+	// An unknown key has nothing to stream.
+	resp3, err := client.http().Get(client.url("/v1/sweeps/" + st.ID + "/trace?config=nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown config key: %d, want 404", resp3.StatusCode)
+	}
+}
+
+// TestTraceEndpointDisabled: without -trace the endpoint must 404 with a
+// hint, not serve an empty stream.
+func TestTraceEndpointDisabled(t *testing.T) {
+	_, client := newTestServer(t, Options{Shards: 1})
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, client, st.ID)
+	resp, err := client.http().Get(client.url("/v1/sweeps/" + st.ID + "/trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced sweep trace fetch: %d, want 404", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "-trace") {
+		t.Fatalf("404 body should point at the -trace flag: %s", body)
+	}
+}
+
+// TestTracedResultsStayByteIdentical: arming -trace must not perturb the
+// science. A traced daemon's served results must match an untraced daemon's
+// byte for byte (modulo wall_ns).
+func TestTracedResultsStayByteIdentical(t *testing.T) {
+	_, plainClient := newTestServer(t, Options{Shards: 1})
+	_, tracedClient := newTestServer(t, Options{Shards: 1, Trace: true})
+
+	st1, err := plainClient.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, plainClient, st1.ID)
+	st2, err := tracedClient.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, tracedClient, st2.ID)
+
+	r1, err := plainClient.Results(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tracedClient.Results(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(stripWall(r1)) != string(stripWall(r2)) {
+		t.Errorf("tracing changed served result bytes.\n--- untraced ---\n%s\n--- traced ---\n%s",
+			stripWall(r1), stripWall(r2))
+	}
+}
+
+// TestPprofGating: /debug/pprof must exist only when Options.Pprof is set.
+func TestPprofGating(t *testing.T) {
+	_, off := newTestServer(t, Options{Shards: 1})
+	resp, err := off.http().Get(off.url("/debug/pprof/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without -pprof: %d", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Options{Shards: 1, Pprof: true})
+	resp, err = on.http().Get(on.url("/debug/pprof/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index with -pprof: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index unexpectedly empty:\n%s", body)
+	}
+}
+
+// TestMetricsHistograms: after a traced sweep, /metrics must expose the
+// per-config wall-time and event-rate histograms (with consistent bucket
+// cumulative counts) and the peak-queue gauge.
+func TestMetricsHistograms(t *testing.T) {
+	_, client := newTestServer(t, Options{Shards: 1, Trace: true})
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, client, st.ID)
+
+	metrics, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(metrics)
+	for _, want := range []string{
+		"# TYPE sweepd_sim_wall_seconds histogram",
+		`sweepd_sim_wall_seconds_bucket{le="+Inf"} 2`,
+		"sweepd_sim_wall_seconds_count 2",
+		"# TYPE sweepd_sim_config_events_per_second histogram",
+		"sweepd_sim_config_events_per_second_count 2",
+		"sweepd_sim_peak_queue_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The tiny spec saturates a 2xBDP FIFO queue, so the peak gauge must be
+	// strictly positive.
+	if strings.Contains(text, "sweepd_sim_peak_queue_bytes 0\n") {
+		t.Error("peak queue gauge stayed 0 across a saturating sweep")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.observe(v)
+	}
+	// Buckets: ≤1 gets {0.5, 1}; (1,10] gets {5}; (10,100] gets {50};
+	// +Inf gets {500, 5000}.
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if h.counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, h.counts[i], w, h.counts)
+		}
+	}
+	if h.count != 6 || h.sum != 0.5+1+5+50+500+5000 {
+		t.Errorf("count=%d sum=%v", h.count, h.sum)
+	}
+	c := h.clone()
+	c.observe(1)
+	if h.count != 6 {
+		t.Error("clone shares state with the original")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -115,6 +116,11 @@ type Conn struct {
 	// per-ACK rules inline, walks the whole segment list every
 	// auditDeepCheckEvery ACKs, and re-walks it at end of run.
 	aud *audit.Auditor
+
+	// trc, when tracing is enabled on the engine, records cwnd/RTT/RTO
+	// events into this flow's telemetry ring. All FlowTracer methods are
+	// nil-receiver safe, so call sites need no guard.
+	trc *telemetry.FlowTracer
 }
 
 // NewConn creates a sender for flow id that injects data packets via inject
@@ -136,6 +142,9 @@ func NewConn(eng *sim.Engine, id packet.FlowID, cfg Config, cc CongestionControl
 	if a := eng.Auditor(); a != nil {
 		c.aud = a
 		a.OnFinish("tcp", "seq-space", c.auditSeqSpace)
+	}
+	if t := eng.Tracer(); t != nil {
+		c.trc = t.Flow(uint32(id), cc.Name())
 	}
 	cc.Init(c)
 	return c
@@ -256,6 +265,11 @@ func (c *Conn) SetPacingRate(r units.Bandwidth) {
 	}
 	c.pacingRate = r
 }
+
+// Trace returns the flow's telemetry tracer (nil when tracing is off).
+// Congestion controllers use it to record state transitions; every
+// FlowTracer method is nil-receiver safe, so callers need no guard.
+func (c *Conn) Trace() *telemetry.FlowTracer { return c.trc }
 
 // Inflight returns the bytes currently considered in flight.
 func (c *Conn) Inflight() int64 { return c.inflight }
@@ -489,6 +503,7 @@ func (c *Conn) Receive(now sim.Time, p *packet.Packet) {
 	if p.EchoSent > 0 {
 		rttSample = (now - p.EchoSent).Std()
 		c.rtt.update(rttSample)
+		c.trc.RTT(int64(now), int64(rttSample), int64(c.rtt.srtt))
 	}
 
 	// Selective delivery: the ACK names the exact segment that triggered
@@ -602,6 +617,8 @@ func (c *Conn) Receive(now sim.Time, p *packet.Packet) {
 		c.cc.OnCongestionEvent(c)
 	}
 	c.cc.OnAck(c, sample)
+	c.trc.Cwnd(int64(now), c.cwnd, c.ssthresh)
+	c.trc.Pacing(int64(now), int64(c.pacingRate))
 	packet.Release(p)
 
 	// Timer management. Any ACK is evidence the path is delivering (the
@@ -679,6 +696,7 @@ func (c *Conn) onRTO() {
 	if c.rtt.rto > maxRTO {
 		c.rtt.rto = maxRTO
 	}
+	c.trc.RTO(int64(c.eng.Now()), int64(c.rtt.rto), int64(c.stats.RTOs))
 
 	// Everything outstanding and undelivered is presumed lost; rebuild the
 	// retransmission queue in sequence order.

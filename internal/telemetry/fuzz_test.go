@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseNDJSON drives the strict NDJSON parser with arbitrary input.
+// Properties:
+//
+//  1. never panics, never hangs (the scanner's buffer is bounded);
+//  2. anything it accepts re-encodes and re-parses to the same Dump
+//     (accept ⇒ fixed point), so the parser cannot launder a malformed
+//     trace into something the encoder would not produce.
+func FuzzParseNDJSON(f *testing.F) {
+	f.Add(`{"v":1,"states":[]}`)
+	f.Add("{\"v\":1,\"states\":[\"startup\",\"drain\"]}\n" +
+		"{\"ring\":\"flow:1\",\"kind\":\"flow\",\"label\":\"bbr1\",\"cap\":8,\"sample_n\":1,\"total\":2,\"dropped\":0}\n" +
+		"{\"r\":\"flow:1\",\"t\":1000,\"ev\":\"cwnd\",\"flow\":1,\"a\":14480,\"b\":99}\n" +
+		"{\"r\":\"flow:1\",\"t\":2000,\"ev\":\"cca_state\",\"flow\":1,\"a\":0,\"b\":1}")
+	f.Add("{\"v\":1,\"states\":[]}\n" +
+		"{\"ring\":\"port:r1->r2\",\"kind\":\"port\",\"cap\":4,\"sample_n\":2,\"total\":9,\"dropped\":5}\n" +
+		"{\"r\":\"port:r1->r2\",\"t\":5,\"ev\":\"drop\",\"aux\":\"red_early\",\"flow\":2,\"a\":1514,\"b\":0}\n" +
+		"{\"r\":\"port:r1->r2\",\"t\":6,\"ev\":\"fault\",\"aux\":\"down\",\"flow\":0,\"a\":0,\"b\":3}")
+	f.Add(`{"v":2,"states":[]}`)
+	f.Add("{\"v\":1,\"states\":[]}\n{\"r\":\"ghost\",\"t\":1,\"ev\":\"cwnd\",\"flow\":1,\"a\":0,\"b\":0}")
+	f.Add("not json at all")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ParseNDJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeNDJSON(&buf, d); err != nil {
+			t.Fatalf("accepted dump failed to re-encode: %v", err)
+		}
+		d2, err := ParseNDJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded dump failed to re-parse: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("parse∘encode not a fixed point:\nfirst  %+v\nsecond %+v", d, d2)
+		}
+	})
+}

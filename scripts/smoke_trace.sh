@@ -1,0 +1,107 @@
+#!/bin/sh
+# smoke-trace: end-to-end check of the flight-recorder telemetry pipeline
+# (make trace-smoke).
+#
+# Exercises the full recording → export → render chain:
+#
+#   1. tcpfair -telemetry-out records a bbr1-vs-cubic run and writes its
+#      telemetry as NDJSON; the file must contain flow rings, port rings,
+#      and cwnd samples;
+#   2. cmd/timeline renders the recording into cwnd and queue-occupancy
+#      sparkline timelines;
+#   3. sweep -trace-dir writes one <Config.Key()>.trace.ndjson per
+#      configuration, each of which timeline can render;
+#   4. sweepd -trace serves the same telemetry over
+#      GET /v1/sweeps/{id}/trace, and timeline renders the multi-config
+#      stream with per-config headings;
+#   5. tracing must not perturb the science: the traced sweep's results are
+#      byte-identical (modulo wall_ns) to an untraced sweep of the same spec.
+#
+# Nonzero exit on any mismatch.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke-trace: FAIL: $*" >&2
+    [ -f "$tmp/sweepd.log" ] && sed 's/^/smoke-trace: sweepd: /' "$tmp/sweepd.log" >&2
+    exit 1
+}
+
+echo "smoke-trace: building tcpfair, timeline, sweep, sweepd" >&2
+$GO build -o "$tmp/tcpfair" ./cmd/tcpfair
+$GO build -o "$tmp/timeline" ./cmd/timeline
+$GO build -o "$tmp/sweep" ./cmd/sweep
+$GO build -o "$tmp/sweepd" ./cmd/sweepd
+
+echo "smoke-trace: recording a bbr1-vs-cubic run" >&2
+"$tmp/tcpfair" -cca1 bbr1 -cca2 cubic -aqm fifo -queue 4 -bw 100Mbps \
+    -duration 4s -quiet -audit -telemetry-out "$tmp/run.ndjson" >/dev/null 2>&1
+[ -s "$tmp/run.ndjson" ] || fail "tcpfair wrote no telemetry"
+grep -q '"ring":"flow:' "$tmp/run.ndjson" || fail "telemetry has no flow rings"
+grep -q '"ring":"port:' "$tmp/run.ndjson" || fail "telemetry has no port rings"
+
+echo "smoke-trace: rendering the recording" >&2
+"$tmp/timeline" -in "$tmp/run.ndjson" >"$tmp/run.timeline"
+grep -q "cwnd" "$tmp/run.timeline" || fail "timeline has no cwnd track"
+grep -q "queue" "$tmp/run.timeline" || fail "timeline has no queue-occupancy track"
+
+SPEC="-bws 100Mbps -queues 2 -aqms fifo -pairings reno:reno,cubic:cubic -duration 4s"
+
+echo "smoke-trace: sweep -trace-dir (per-config trace files)" >&2
+"$tmp/sweep" $SPEC -quiet -strict -out "$tmp/traced.json" \
+    -trace-dir "$tmp/traces" >/dev/null
+n=$(ls "$tmp/traces"/*.trace.ndjson 2>/dev/null | wc -l)
+[ "$n" -eq 2 ] || fail "sweep -trace-dir wrote $n trace files, want 2"
+for f in "$tmp/traces"/*.trace.ndjson; do
+    "$tmp/timeline" -in "$f" >/dev/null || fail "timeline could not render $f"
+done
+
+echo "smoke-trace: tracing must not change the science" >&2
+"$tmp/sweep" $SPEC -quiet -strict -out "$tmp/plain.json" >/dev/null
+grep -v '"wall_ns"' "$tmp/traced.json" >"$tmp/traced.norm"
+grep -v '"wall_ns"' "$tmp/plain.json" >"$tmp/plain.norm"
+cmp -s "$tmp/traced.norm" "$tmp/plain.norm" || {
+    diff "$tmp/traced.norm" "$tmp/plain.norm" | head -40 >&2
+    fail "traced sweep results differ from the untraced sweep"
+}
+
+echo "smoke-trace: sweepd -trace serves /v1/sweeps/{id}/trace" >&2
+"$tmp/sweepd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -trace \
+    2>"$tmp/sweepd.log" &
+pid=$!
+i=0
+while [ ! -f "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not come up"
+    sleep 0.1
+done
+base="http://$(cat "$tmp/addr")"
+# Submit via the CLI client and read the job id off its progress banner
+# ("sweep: remote job <id> on <base>: ...").
+id=$("$tmp/sweep" $SPEC -quiet -strict -remote "$base" -out "$tmp/served.json" 2>&1 >/dev/null \
+    | tee "$tmp/remote.log" | sed -n 's/.*remote job \([a-zA-Z0-9_-]*\) on.*/\1/p' | head -1)
+[ -n "$id" ] || fail "could not extract the job id from sweep -remote output"
+curl -sf "$base/v1/sweeps/$id/trace" >"$tmp/served.trace.ndjson" ||
+    fail "trace endpoint returned an error"
+headers=$(grep -c '^{"config":' "$tmp/served.trace.ndjson") || true
+[ "$headers" -eq 2 ] || fail "trace stream has $headers config headers, want 2"
+"$tmp/timeline" -in "$tmp/served.trace.ndjson" >"$tmp/served.timeline"
+sections=$(grep -c '^=== config ' "$tmp/served.timeline") || true
+[ "$sections" -eq 2 ] || fail "timeline rendered $sections config sections, want 2"
+
+kill "$pid"
+wait "$pid" || fail "daemon exited non-zero on SIGTERM"
+pid=""
+
+echo "smoke-trace: OK (recorded, rendered, per-config files, served stream, science unchanged)" >&2
