@@ -18,10 +18,10 @@
 #                     plumbing, metamorphic relations
 #   make resilience — fault-injection shape suite: flap recovery, bursty-loss
 #                     inversion, deterministic replay, runner hardening
-#   make smoke      — end-to-end fault sweep through cmd/sweep in a private
-#                     temp dir (flap preset, 4 cheap configs) with -audit and
-#                     -strict: any errored or checkpoint-skipped config makes
-#                     the target fail
+#   make smoke      — end-to-end sweeps through cmd/sweep in a private temp
+#                     dir with -audit and -strict: a fault sweep (flap preset,
+#                     4 cheap configs) and a 3-hop parking-lot topology sweep;
+#                     any errored or checkpoint-skipped config fails the target
 #   make smoke-svc  — end-to-end sweepd service check (scripts/smoke_svc.sh):
 #                     daemon on an ephemeral port, served sweep byte-identical
 #                     to a direct CLI run (modulo wall_ns), repeated POST
@@ -37,13 +37,18 @@
 #   make fuzz-smoke — every fuzz target for a short budget, seeded from the
 #                     checked-in corpora under */testdata/fuzz
 #   make bench      — engine micro-benchmarks (0 allocs/op on reuse paths)
+#   make bench-save — record the topology benchmark trajectory (events/sec,
+#                     ns/event, allocs/packet on the dumbbell and a 3-hop
+#                     parking lot) into BENCH_topo.json; run on a quiet host
+#   make bench-gate — replay the trajectory and fail on regression: allocs
+#                     strictly, speed within a 5× host-variance tolerance
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc trace-smoke fuzz-smoke bench
+.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc trace-smoke fuzz-smoke bench bench-save bench-gate
 
-ci: lint build test allocs audit resilience smoke smoke-svc trace-smoke fuzz-smoke
+ci: lint build test allocs bench-gate audit resilience smoke smoke-svc trace-smoke fuzz-smoke
 
 lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
@@ -73,7 +78,10 @@ smoke:
 	@tmp=$$(mktemp -d) || exit 1; \
 	$(GO) run ./cmd/sweep -faults flap -configs 4 -bws 100Mbps -queues 2 \
 		-duration 6s -quiet -audit -strict \
-		-checkpoint $$tmp/fault-smoke.ckpt.jsonl -out $$tmp/fault-smoke.json; \
+		-checkpoint $$tmp/fault-smoke.ckpt.jsonl -out $$tmp/fault-smoke.json && \
+	$(GO) run ./cmd/sweep -topo parking-lot-3 -bws 100Mbps -queues 2 -aqms fifo \
+		-pairings cubic:cubic -duration 4s -quiet -audit -strict \
+		-out $$tmp/topo-smoke.json; \
 	rc=$$?; rm -rf "$$tmp"; exit $$rc
 
 smoke-svc:
@@ -88,6 +96,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAQMQueueOps -fuzztime $(FUZZTIME) ./internal/aqm/
 	$(GO) test -run '^$$' -fuzz FuzzConnAckProcessing -fuzztime $(FUZZTIME) ./internal/tcp/
 	$(GO) test -run '^$$' -fuzz FuzzParseNDJSON -fuzztime $(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz FuzzTopoSpec -fuzztime $(FUZZTIME) ./internal/topo/
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkTimer' -benchmem ./internal/sim/
+
+bench-save:
+	BENCH_SAVE=1 $(GO) test -run 'TestBenchTopoTrajectory' -v .
+
+bench-gate:
+	$(GO) test -run 'TestBenchTopoTrajectory' -v .

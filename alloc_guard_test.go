@@ -15,6 +15,7 @@ import (
 	"repro/internal/cca"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/topo"
 	"repro/internal/units"
 )
 
@@ -155,5 +156,43 @@ func TestAllocGuardWithFaultProfile(t *testing.T) {
 	if perPacket > 1.0 {
 		t.Errorf("fault path allocation regression: %.3f allocs per forwarded data packet "+
 			"(budget ≤ 1, same as the clean run)", perPacket)
+	}
+}
+
+// TestAllocGuardParkingLot: the graph builder's multi-bottleneck path —
+// demux fan-out at divergent links, per-hop sender classes, three AQM
+// instances in series — must hold the same steady-state budget as the
+// dumbbell: at most one heap allocation per delivered data segment.
+func TestAllocGuardParkingLot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2s of traffic; skipped in -short mode")
+	}
+	pl := topo.ParkingLotSpec(3)
+	cfg := allocGuardConfig()
+	cfg.Topology = &pl
+
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+
+	var goodputBytes float64
+	for _, g := range last.Groups {
+		goodputBytes += g.Bps * cfg.Duration.Seconds() / 8
+	}
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+	perPacket := allocs / segments
+	t.Logf("allocs/run = %.0f over %.0f segments → %.3f allocs per forwarded data packet",
+		allocs, segments, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("parking-lot allocation regression: %.3f allocs per forwarded data packet "+
+			"(budget ≤ 1, same as the dumbbell)", perPacket)
 	}
 }

@@ -1,0 +1,174 @@
+//go:build !race
+
+// Benchmark-trajectory gate for the graph-built topologies: BENCH_topo.json
+// pins the event-core throughput (events/sec, ns/event) and the per-packet
+// allocation budget for the dumbbell and a three-hop parking lot.
+// `make bench-save` refreshes the file on a quiet machine; `make ci` replays
+// the same measurement and fails on regression — allocations strictly
+// (they are machine-independent), speed loosely (a 5× slowdown tolerance
+// absorbs host variance while still catching algorithmic blowups).
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+const benchTopoFile = "BENCH_topo.json"
+
+type benchTopoEntry struct {
+	Topology        string  `json:"topology"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	NsPerEvent      float64 `json:"ns_per_event"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+}
+
+func benchTopoConfigs() map[string]experiment.Config {
+	pl := topo.ParkingLotSpec(3)
+	dumbbell := allocGuardConfig()
+	parking := allocGuardConfig()
+	parking.Topology = &pl
+	return map[string]experiment.Config{
+		"dumbbell":      dumbbell,
+		"parking-lot-3": parking,
+	}
+}
+
+// measureBenchTopo runs one configuration and reports its event throughput
+// and allocation rate. The run is repeated through AllocsPerRun (which also
+// warms the code paths), then timed separately over wall clock.
+func measureBenchTopo(t *testing.T, cfg experiment.Config) benchTopoEntry {
+	t.Helper()
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+	var goodputBytes float64
+	if len(last.Groups) > 0 {
+		for _, g := range last.Groups {
+			goodputBytes += g.Bps * cfg.Duration.Seconds() / 8
+		}
+	} else {
+		goodputBytes = (last.SenderBps[0] + last.SenderBps[1]) * cfg.Duration.Seconds() / 8
+	}
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+
+	start := time.Now()
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	return benchTopoEntry{
+		EventsPerSec:    float64(res.Events) / wall.Seconds(),
+		NsPerEvent:      float64(wall.Nanoseconds()) / float64(res.Events),
+		AllocsPerPacket: allocs / segments,
+	}
+}
+
+// TestBenchTopoTrajectory is both the recorder and the gate. With
+// BENCH_SAVE=1 it measures and rewrites BENCH_topo.json; otherwise it
+// measures and compares against the checked-in trajectory.
+func TestBenchTopoTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates seconds of traffic per topology; skipped in -short mode")
+	}
+	cfgs := benchTopoConfigs()
+	names := []string{"dumbbell", "parking-lot-3"}
+
+	if os.Getenv("BENCH_SAVE") == "1" {
+		var entries []benchTopoEntry
+		for _, name := range names {
+			e := measureBenchTopo(t, cfgs[name])
+			e.Topology = name
+			t.Logf("%s: %.0f events/sec, %.1f ns/event, %.3f allocs/pkt",
+				name, e.EventsPerSec, e.NsPerEvent, e.AllocsPerPacket)
+			entries = append(entries, e)
+		}
+		data, err := json.MarshalIndent(entries, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchTopoFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("saved trajectory to %s", benchTopoFile)
+		return
+	}
+
+	data, err := os.ReadFile(benchTopoFile)
+	if err != nil {
+		t.Fatalf("no benchmark trajectory (%v); record one with `make bench-save`", err)
+	}
+	var saved []benchTopoEntry
+	if err := json.Unmarshal(data, &saved); err != nil {
+		t.Fatalf("corrupt %s: %v", benchTopoFile, err)
+	}
+	byName := map[string]benchTopoEntry{}
+	for _, e := range saved {
+		byName[e.Topology] = e
+	}
+	for _, name := range names {
+		want, ok := byName[name]
+		if !ok {
+			t.Errorf("%s missing from %s; re-record with `make bench-save`", name, benchTopoFile)
+			continue
+		}
+		got := measureBenchTopo(t, cfgs[name])
+		t.Logf("%s: %.0f events/sec (saved %.0f), %.1f ns/event (saved %.1f), %.3f allocs/pkt (saved %.3f)",
+			name, got.EventsPerSec, want.EventsPerSec, got.NsPerEvent, want.NsPerEvent,
+			got.AllocsPerPacket, want.AllocsPerPacket)
+		// Allocations are deterministic per build: a small absolute slack
+		// covers AllocsPerRun jitter, nothing more.
+		if got.AllocsPerPacket > want.AllocsPerPacket+0.05 {
+			t.Errorf("%s: allocs/packet regressed: %.3f > saved %.3f",
+				name, got.AllocsPerPacket, want.AllocsPerPacket)
+		}
+		// Speed gates are loose — hosts differ — but a 5× slowdown is an
+		// algorithmic regression, not noise.
+		if got.EventsPerSec < want.EventsPerSec/5 {
+			t.Errorf("%s: event throughput collapsed: %.0f events/sec vs saved %.0f (>5× slower)",
+				name, got.EventsPerSec, want.EventsPerSec)
+		}
+	}
+}
+
+// BenchmarkTopoBuild measures spec → network instantiation alone (port
+// construction, continuation analysis, demux wiring), which gates how
+// cheaply sweeps can spin up thousands of runs.
+func BenchmarkTopoBuild(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		spec topo.Spec
+	}{
+		{"dumbbell", topo.DumbbellSpec()},
+		{"parking-lot-3", topo.ParkingLotSpec(3)},
+		{"parking-lot-8", topo.ParkingLotSpec(8)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine(1)
+				if _, err := topo.Build(eng, tc.spec, topo.Params{
+					Bottleneck: 100 * units.MegabitPerSec,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

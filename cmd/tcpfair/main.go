@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/topo"
 	"repro/internal/units"
 )
 
@@ -37,10 +38,12 @@ func main() {
 		rtt         = flag.Duration("rtt", 62*time.Millisecond, "end-to-end round-trip time")
 		paper       = flag.Bool("paper-scale", false, "full 200s runs and uncapped Table 2 flow counts")
 		ecn         = flag.Bool("ecn", false, "enable ECN end to end")
+		delayedAck  = flag.Bool("delayed-ack", false, "enable RFC 1122 delayed acknowledgements on receivers")
 		traceDir    = flag.String("trace", "", "directory for iperf3-style per-flow JSON logs")
 		interval    = flag.Duration("interval", time.Second, "interval for the per-second report")
 		quiet       = flag.Bool("quiet", false, "suppress the per-interval report")
 		faultSpec   = flag.String("faults", "", "fault profile: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
+		topoSpec    = flag.String("topo", "", "network topology: preset (dumbbell, parking-lot-3, reverse-path[:factor=0.005], cross-traffic[:cca=bbr1]), inline JSON, or @file.json")
 		auditRun    = flag.Bool("audit", false, "enable the runtime invariant auditor (packet conservation, queue accounting, TCP sequence sanity)")
 		telemOut    = flag.String("telemetry-out", "", "record flight-recorder telemetry and write it as NDJSON to this file (render with cmd/timeline)")
 		traceRing   = flag.Int("trace-ring", 0, "telemetry ring capacity in events per flow/port (0 = default; larger rings keep more history before overwriting)")
@@ -68,6 +71,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	topology, err := topo.Parse(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := experiment.Config{
 		Pairing:        experiment.Pairing{CCA1: c1, CCA2: c2},
@@ -80,8 +87,10 @@ func main() {
 		Seed:           *seed,
 		PaperScale:     *paper,
 		ECN:            *ecn,
+		DelayedAck:     *delayedAck,
 		SampleInterval: *interval,
 		Faults:         profile,
+		Topology:       topology,
 		Audit:          *auditRun,
 	}
 
@@ -114,8 +123,13 @@ func main() {
 	fmt.Printf("\n=== %s ===\n", res.Config.ID())
 	fmt.Printf("bottleneck      %v, %v RTT, %s queue = %g x BDP\n",
 		res.Config.Bottleneck, res.Config.RTT, res.Config.AQM, res.Config.QueueBDP)
-	fmt.Printf("flows           %d (%d per sender), %gs simulated\n",
-		res.Flows, res.Flows/2, res.SimSeconds)
+	if len(res.Groups) > 0 {
+		fmt.Printf("flows           %d across %d classes, %gs simulated\n",
+			res.Flows, len(res.Groups), res.SimSeconds)
+	} else {
+		fmt.Printf("flows           %d (%d per sender), %gs simulated\n",
+			res.Flows, res.Flows/2, res.SimSeconds)
+	}
 	fmt.Printf("sender 1 (%s)  %10.2f Mbps\n", c1, res.SenderMbps(0))
 	fmt.Printf("sender 2 (%s)  %10.2f Mbps\n", c2, res.SenderMbps(1))
 	fmt.Printf("Jain index      %10.4f\n", res.Jain)
@@ -129,6 +143,25 @@ func main() {
 	}
 	fmt.Printf("queueing delay  %10v mean, %v max\n",
 		res.SojournMean.Round(time.Microsecond), res.SojournMax.Round(time.Microsecond))
+	if len(res.Groups) > 0 {
+		fmt.Printf("\nper-class results:\n")
+		for _, g := range res.Groups {
+			bg := ""
+			if g.Background {
+				bg = " (background)"
+			}
+			fmt.Printf("  %-8s %-6s %2d flows %12.2f Mbps  %8d rtx%s\n",
+				g.Name, g.CCA, g.Flows, g.Bps/1e6, g.Retransmits, bg)
+		}
+	}
+	if len(res.Ports) > 0 {
+		fmt.Printf("per-port results:\n")
+		for _, pt := range res.Ports {
+			fmt.Printf("  %-10s %10v  util %6.3f  drops %8d  peak %9d B  sojourn %v\n",
+				pt.Name, pt.RateBps, pt.Utilization, pt.Dropped, pt.PeakQueueBytes,
+				pt.SojournMean.Round(time.Microsecond))
+		}
+	}
 	fmt.Printf("events          %10d in %v wall\n", res.Events, res.Wall.Round(time.Millisecond))
 }
 

@@ -77,20 +77,7 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	// to untraced ones wherever they serialize.
 	recCfg := cfg
 	recCfg.Trace, recCfg.TraceRingCap, recCfg.TraceSampleN = false, 0, 0
-	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
-	d, err := topo.NewDumbbell(eng, topo.Config{
-		BottleneckBW: cfg.Bottleneck,
-		RTT:          cfg.RTT,
-		PathLoss:     cfg.PathLoss,
-		Faults:       cfg.Faults,
-		Queue: aqm.Config{
-			Kind:     cfg.AQM,
-			Capacity: queueBytes,
-			ECN:      cfg.ECN,
-			RED:      aqm.REDParams{Seed: cfg.Seed},
-			FQCoDel:  aqm.FQCoDelParams{Perturb: cfg.Seed},
-		},
-	})
+	net, err := experiment.BuildNet(eng, cfg)
 	if err != nil {
 		return experiment.Result{}, fmt.Errorf("core: %w", err)
 	}
@@ -100,44 +87,61 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 		recorder *trace.Recorder
 	}
 	var flows []flowMeta
-	ccas := [2]cca.Name{cfg.Pairing.CCA1, cfg.Pairing.CCA2}
-	for sender := 0; sender < 2; sender++ {
-		for i := 0; i < cfg.FlowsPerSender; i++ {
-			cc, err := cca.New(ccas[sender])
+	for ci := 0; ci < net.NumClasses(); ci++ {
+		name := experiment.ClassCCA(cfg, net.ClassSpec(ci), ci)
+		for i := 0; i < experiment.ClassFlowCount(cfg, net.ClassSpec(ci)); i++ {
+			cc, err := cca.New(name)
 			if err != nil {
 				return experiment.Result{}, fmt.Errorf("core: %w", err)
 			}
-			f := d.AddFlow(sender, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
+			f := net.AddFlow(ci, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
 			delay := workload.StartJitter(eng.RNG(), cfg.StartSpread)
 			eng.Schedule(delay, f.Conn.Start)
 			var rec *trace.Recorder
 			if opts.TraceDir != "" {
 				title := fmt.Sprintf("%s/flow%d", cfg.ID(), f.ID)
-				rec = trace.NewRecorder(title, string(ccas[sender]), sender, uint32(f.ID), delay)
+				rec = trace.NewRecorder(title, string(name), ci, uint32(f.ID), delay)
 			}
 			flows = append(flows, flowMeta{flow: f, recorder: rec})
 		}
 	}
 
-	// Periodic observation: interval report, trace records, callbacks.
-	var lastSender [2]int64
+	mon := net.Monitor()
+
+	// Periodic observation: interval report, trace records, callbacks. The
+	// interval line keeps the historical two-sender shape on the dumbbell
+	// and switches to one class=rate column per group on graph topologies.
+	nc := net.NumClasses()
+	lastClass := make([]int64, nc)
+	rates := make([]float64, nc)
 	var tick func()
 	tick = func() {
 		now := eng.Now()
-		var rates [2]float64
-		for s := 0; s < 2; s++ {
-			cur := d.SenderGoodput(s)
-			rates[s] = float64(cur-lastSender[s]) * 8 / cfg.SampleInterval.Seconds()
-			lastSender[s] = cur
+		for ci := 0; ci < nc; ci++ {
+			cur := net.ClassGoodput(ci)
+			rates[ci] = float64(cur-lastClass[ci]) * 8 / cfg.SampleInterval.Seconds()
+			lastClass[ci] = cur
 		}
 		if opts.IntervalWriter != nil {
-			fmt.Fprintf(opts.IntervalWriter,
-				"[%7.2fs] sender1(%-5s) %9.2f Mbps | sender2(%-5s) %9.2f Mbps | queue %6d pkts\n",
-				now.Seconds(), cfg.Pairing.CCA1, rates[0]/1e6,
-				cfg.Pairing.CCA2, rates[1]/1e6, d.Bottleneck.Queue().Len())
+			if cfg.Topology == nil {
+				fmt.Fprintf(opts.IntervalWriter,
+					"[%7.2fs] sender1(%-5s) %9.2f Mbps | sender2(%-5s) %9.2f Mbps | queue %6d pkts\n",
+					now.Seconds(), cfg.Pairing.CCA1, rates[0]/1e6,
+					cfg.Pairing.CCA2, rates[1]/1e6, mon.Queue().Len())
+			} else {
+				fmt.Fprintf(opts.IntervalWriter, "[%7.2fs]", now.Seconds())
+				for ci := 0; ci < nc; ci++ {
+					fmt.Fprintf(opts.IntervalWriter, " %s %9.2f Mbps |",
+						net.ClassSpec(ci).Name, rates[ci]/1e6)
+				}
+				fmt.Fprintf(opts.IntervalWriter, " %s queue %6d pkts\n",
+					net.MonitorName(), mon.Queue().Len())
+			}
 		}
 		if opts.OnSample != nil {
-			opts.OnSample(now.Std(), rates)
+			var pair [2]float64
+			copy(pair[:], rates)
+			opts.OnSample(now.Std(), pair)
 		}
 		for _, fm := range flows {
 			if fm.recorder != nil {
@@ -152,9 +156,13 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 
 	var qSeries *metrics.QueueSeries
 	if opts.OnQueueSeries != nil {
+		gauge := "bottleneck"
+		if cfg.Topology != nil {
+			gauge = net.MonitorName()
+		}
 		sam := metrics.NewSampler(eng, cfg.SampleInterval)
-		qSeries = sam.TrackQueue("bottleneck", func() (int64, int) {
-			q := d.Bottleneck.Queue()
+		qSeries = sam.TrackQueue(gauge, func() (int64, int) {
+			q := mon.Queue()
 			return int64(q.Bytes()), q.Len()
 		})
 		sam.Start()
@@ -174,37 +182,43 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 
 	res := experiment.Result{
 		Config:     recCfg,
-		Flows:      2 * cfg.FlowsPerSender,
+		Flows:      len(net.Flows()),
 		SimSeconds: cfg.Duration.Seconds(),
 		Events:     eng.Executed(),
 		Wall:       time.Since(start),
 	}
-	var totalBytes int64
-	for s := 0; s < 2; s++ {
-		g := d.SenderGoodput(s)
-		totalBytes += g
+	for s := 0; s < 2 && s < nc; s++ {
+		g := net.ClassGoodput(s)
 		res.SenderBps[s] = float64(g) * 8 / cfg.Duration.Seconds()
-		res.Retransmits[s] = d.SenderRetransmits(s)
+		res.Retransmits[s] = net.ClassRetransmits(s)
 	}
-	res.TotalRetransmits = res.Retransmits[0] + res.Retransmits[1]
+	res.TotalRetransmits = net.TotalRetransmits()
 	res.Jain = metrics.Jain([]float64{res.SenderBps[0], res.SenderBps[1]})
-	perFlow := make([]float64, 0, len(d.Flows()))
-	for _, f := range d.Flows() {
+	perFlow := make([]float64, 0, len(net.Flows()))
+	for _, f := range net.Flows() {
 		perFlow = append(perFlow, float64(f.Rcv.Goodput()))
 	}
 	res.FlowJain = metrics.Jain(perFlow)
+	var totalBytes int64
+	for _, ci := range net.MonitorClasses() {
+		totalBytes += net.ClassGoodput(ci)
+	}
 	res.Utilization = metrics.Utilization(totalBytes, cfg.Duration, cfg.Bottleneck)
-	qs := d.Bottleneck.Queue().Stats()
+	qs := mon.Queue().Stats()
 	res.QueueDropped = qs.Dropped
 	res.QueueMarked = qs.Marked
-	sj := d.Bottleneck.Sojourn()
+	sj := mon.Sojourn()
 	res.SojournMean = sj.Mean
 	res.SojournMax = sj.Max
-	res.FaultLossDrops = d.Bottleneck.LossDrops()
-	res.FaultDownDrops = d.Bottleneck.DownDrops()
-	pb, pp := d.Bottleneck.PeakQueue()
+	res.FaultLossDrops = mon.LossDrops()
+	res.FaultDownDrops = mon.DownDrops()
+	pb, pp := mon.PeakQueue()
 	res.PeakQueueBytes = int64(pb)
 	res.PeakQueuePackets = pp
+	if cfg.Topology != nil {
+		res.Groups = experiment.GroupResults(net, cfg)
+		res.Ports = experiment.PortResults(net, cfg.Duration)
+	}
 	if trc != nil {
 		res.Trace = trc.Dump()
 		if opts.TelemetryOut != nil {

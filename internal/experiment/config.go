@@ -15,6 +15,7 @@ import (
 	"repro/internal/aqm"
 	"repro/internal/cca"
 	"repro/internal/faults"
+	"repro/internal/topo"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -98,6 +99,12 @@ type Config struct {
 	// loss, link flaps, bandwidth/RTT steps) on the bottleneck port. The
 	// profile is part of result identity: it lands in ID and JSON.
 	Faults *faults.Profile `json:"faults,omitempty"`
+	// Topology selects the network graph the run builds. Nil (and the
+	// canonical dumbbell, which Normalize folds to nil) is the paper's
+	// dumbbell — so legacy configs keep their exact Key and the sweepd
+	// cache and checkpoint journals stay valid. Non-dumbbell specs are
+	// science: they land in the JSON identity and in ID.
+	Topology *topo.Spec `json:"topology,omitempty"`
 	// MaxEvents aborts the run after this many simulator events (0 =
 	// unlimited) — the sweep watchdog against runaway configurations. The
 	// abort is deterministic.
@@ -156,6 +163,14 @@ func (c Config) Normalize() Config {
 			c.Faults = &n
 		}
 	}
+	if c.Topology != nil {
+		if topo.IsDumbbell(c.Topology) {
+			c.Topology = nil
+		} else {
+			n := c.Topology.Normalize()
+			c.Topology = &n
+		}
+	}
 	return c
 }
 
@@ -167,6 +182,9 @@ func (c Config) ID() string {
 		c.Bottleneck, c.Seed)
 	if fid := c.Faults.ID(); fid != "" {
 		id += "_" + fid
+	}
+	if c.Topology != nil && !topo.IsDumbbell(c.Topology) {
+		id += "_" + c.Topology.ID()
 	}
 	return id
 }

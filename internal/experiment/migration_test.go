@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/faults"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// TestMigrationDumbbellByteIdentity: the dumbbell preset Spec driving the
+// graph builder must reproduce the pre-refactor hard-wired dumbbell
+// byte-for-byte. The golden file was produced by `cmd/sweep` before
+// internal/topo was rewritten; every result here must serialize to the
+// exact same JSON (wall time aside, which measures the host, not the
+// simulation).
+func TestMigrationDumbbellByteIdentity(t *testing.T) {
+	rs, err := LoadFile("testdata/migration/dumbbell_seed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Results) != 6 {
+		t.Fatalf("golden set has %d results, want 6", len(rs.Results))
+	}
+	for i, want := range rs.Results {
+		got, err := Run(want.Config)
+		if err != nil {
+			t.Fatalf("result %d (%s): %v", i, want.Config.ID(), err)
+		}
+		got.Wall, want.Wall = 0, 0
+		gb, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("result %d (%s): graph-built dumbbell diverged from the pre-refactor golden\n got: %s\nwant: %s",
+				i, want.Config.ID(), gb, wb)
+		}
+	}
+}
+
+// TestMigrationLegacyKeysStable: configurations without a Topology field
+// must keep the exact Config.Key() they had before the topology field
+// existed — the sweepd result cache and checkpoint journals are keyed by
+// it. The hashes below were pinned from the pre-refactor tree.
+func TestMigrationLegacyKeysStable(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		key string
+	}{
+		{
+			Config{Pairing: Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic}, AQM: aqm.KindFIFO,
+				QueueBDP: 2, Bottleneck: 100 * units.MegabitPerSec, Seed: 1},
+			"8a599272ed1c802f",
+		},
+		{
+			Config{Pairing: Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic}, AQM: aqm.KindRED,
+				QueueBDP: 16, Bottleneck: units.GigabitPerSec, Seed: 3, Duration: 6 * time.Second},
+			"fc51209ffd0eabc6",
+		},
+		{
+			Config{Pairing: Pairing{CCA1: cca.Reno, CCA2: cca.Reno}, AQM: aqm.KindFQCoDel,
+				QueueBDP: 0.5, Bottleneck: 10 * units.GigabitPerSec, Seed: 2, ECN: true, DelayedAck: true,
+				Faults: &faults.Profile{Flaps: []faults.Flap{{At: time.Second, Down: 100 * time.Millisecond}}}},
+			"eeed232b32046c6e",
+		},
+	}
+	for i, c := range cases {
+		if got := c.cfg.Key(); got != c.key {
+			t.Errorf("case %d (%s): Key() = %q, want pinned legacy %q",
+				i, c.cfg.ID(), got, c.key)
+		}
+	}
+}
+
+// TestMigrationDumbbellTopologyFoldsAway: explicitly requesting the
+// dumbbell preset (as `-topo dumbbell` does) must be identity-equivalent
+// to the nil legacy default — same Key, same ID, Topology normalized away.
+func TestMigrationDumbbellTopologyFoldsAway(t *testing.T) {
+	base := Config{Pairing: Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic}, AQM: aqm.KindFIFO,
+		QueueBDP: 2, Bottleneck: 100 * units.MegabitPerSec, Seed: 1}
+	spec := topo.DumbbellSpec()
+	explicit := base
+	explicit.Topology = &spec
+
+	if n := explicit.Normalize(); n.Topology != nil {
+		t.Fatal("canonical dumbbell Topology survived Normalize")
+	}
+	if explicit.Key() != base.Key() {
+		t.Errorf("dumbbell topology changed Key: %s vs %s", explicit.Key(), base.Key())
+	}
+	if explicit.Normalize().ID() != base.Normalize().ID() {
+		t.Errorf("dumbbell topology changed ID: %s vs %s",
+			explicit.Normalize().ID(), base.Normalize().ID())
+	}
+
+	// A non-dumbbell graph is science: it must move both Key and ID.
+	pl := topo.ParkingLotSpec(3)
+	graph := base
+	graph.Topology = &pl
+	if graph.Key() == base.Key() {
+		t.Error("parking-lot topology did not change Key")
+	}
+	if n := graph.Normalize(); n.Topology == nil {
+		t.Fatal("parking-lot Topology normalized away")
+	} else if id := n.ID(); id == base.Normalize().ID() {
+		t.Errorf("parking-lot topology did not change ID: %s", id)
+	} else if want := base.Normalize().ID() + "_parking-lot-3"; id != want {
+		t.Errorf("parking-lot ID = %q, want %q", id, want)
+	}
+}

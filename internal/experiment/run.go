@@ -58,6 +58,13 @@ type Result struct {
 	// Summarize and by checkpoint resume.
 	Error string `json:"error,omitempty"`
 
+	// Groups and Ports carry per-sender-class and per-link results for
+	// non-dumbbell topologies (parking lot, reverse path, cross traffic).
+	// Both are omitted for the legacy dumbbell so its result bytes are
+	// unchanged; the two-sender fields above always cover classes 0 and 1.
+	Groups []GroupResult `json:"groups,omitempty"`
+	Ports  []PortResult  `json:"ports,omitempty"`
+
 	// Run metadata.
 	Flows      int           `json:"flows"`
 	SimSeconds float64       `json:"sim_seconds"`
@@ -69,6 +76,33 @@ type Result struct {
 	// own NDJSON/binary encodings and their own files — so result bytes are
 	// identical with tracing on or off.
 	Trace *telemetry.Dump `json:"-"`
+}
+
+// GroupResult is one sender class's outcome on a graph topology.
+type GroupResult struct {
+	Name        string  `json:"name"`
+	CCA         string  `json:"cca"`
+	Flows       int     `json:"flows"`
+	Bps         float64 `json:"bps"`
+	Retransmits uint64  `json:"retransmits"`
+	Background  bool    `json:"background,omitempty"`
+}
+
+// PortResult is one reported link's counters: the bottleneck-role links,
+// links with explicit queue overrides, and the monitor link. Utilization
+// here is wire utilization (TxBytes over the link's resolved rate), unlike
+// the goodput-based top-level φ.
+type PortResult struct {
+	Name             string          `json:"name"`
+	RateBps          units.Bandwidth `json:"rate_bps"`
+	TxBytes          int64           `json:"tx_bytes"`
+	Utilization      float64         `json:"utilization"`
+	Dropped          uint64          `json:"dropped"`
+	Marked           uint64          `json:"marked"`
+	PeakQueueBytes   int64           `json:"peak_queue_bytes"`
+	PeakQueuePackets int             `json:"peak_queue_packets"`
+	SojournMean      time.Duration   `json:"sojourn_mean_ns"`
+	SojournMax       time.Duration   `json:"sojourn_max_ns"`
 }
 
 // Errored reports whether the result records a failed run.
@@ -110,32 +144,19 @@ func Run(cfg Config) (Result, error) {
 	// files, the sweepd cache, checkpoint journals).
 	recCfg := cfg
 	recCfg.Trace, recCfg.TraceRingCap, recCfg.TraceSampleN = false, 0, 0
-	queueBytes := units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960)
-	d, err := topo.NewDumbbell(eng, topo.Config{
-		BottleneckBW: cfg.Bottleneck,
-		RTT:          cfg.RTT,
-		PathLoss:     cfg.PathLoss,
-		Faults:       cfg.Faults,
-		Queue: aqm.Config{
-			Kind:     cfg.AQM,
-			Capacity: queueBytes,
-			ECN:      cfg.ECN,
-			RED:      aqm.REDParams{Seed: cfg.Seed},
-			FQCoDel:  aqm.FQCoDelParams{Perturb: cfg.Seed},
-		},
-	})
+	net, err := BuildNet(eng, cfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
 	}
 
-	ccas := [2]cca.Name{cfg.Pairing.CCA1, cfg.Pairing.CCA2}
-	for sender := 0; sender < 2; sender++ {
-		for i := 0; i < cfg.FlowsPerSender; i++ {
-			cc, err := cca.New(ccas[sender])
+	for ci := 0; ci < net.NumClasses(); ci++ {
+		name := ClassCCA(cfg, net.ClassSpec(ci), ci)
+		for i := 0; i < ClassFlowCount(cfg, net.ClassSpec(ci)); i++ {
+			cc, err := cca.New(name)
 			if err != nil {
 				return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
 			}
-			f := d.AddFlow(sender, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
+			f := net.AddFlow(ci, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
 			delay := workload.StartJitter(eng.RNG(), cfg.StartSpread)
 			conn := f.Conn
 			eng.Schedule(delay, conn.Start)
@@ -157,39 +178,136 @@ func Run(cfg Config) (Result, error) {
 
 	res := Result{
 		Config:     recCfg,
-		Flows:      2 * cfg.FlowsPerSender,
+		Flows:      len(net.Flows()),
 		SimSeconds: cfg.Duration.Seconds(),
 		Events:     eng.Executed(),
 		Wall:       time.Since(start),
 	}
-	var totalBytes int64
-	for s := 0; s < 2; s++ {
-		g := d.SenderGoodput(s)
-		totalBytes += g
+	for s := 0; s < 2 && s < net.NumClasses(); s++ {
+		g := net.ClassGoodput(s)
 		res.SenderBps[s] = float64(g) * 8 / cfg.Duration.Seconds()
-		res.Retransmits[s] = d.SenderRetransmits(s)
+		res.Retransmits[s] = net.ClassRetransmits(s)
 	}
-	res.TotalRetransmits = res.Retransmits[0] + res.Retransmits[1]
+	res.TotalRetransmits = net.TotalRetransmits()
 	res.Jain = metrics.Jain([]float64{res.SenderBps[0], res.SenderBps[1]})
-	perFlow := make([]float64, 0, len(d.Flows()))
-	for _, f := range d.Flows() {
+	perFlow := make([]float64, 0, len(net.Flows()))
+	for _, f := range net.Flows() {
 		perFlow = append(perFlow, float64(f.Rcv.Goodput()))
 	}
 	res.FlowJain = metrics.Jain(perFlow)
+	// φ aggregates goodput over the classes crossing the monitor link, over
+	// that link's rate — for the dumbbell, exactly the two senders over the
+	// bottleneck.
+	var totalBytes int64
+	for _, ci := range net.MonitorClasses() {
+		totalBytes += net.ClassGoodput(ci)
+	}
 	res.Utilization = metrics.Utilization(totalBytes, cfg.Duration, cfg.Bottleneck)
-	qs := d.Bottleneck.Queue().Stats()
+	mon := net.Monitor()
+	qs := mon.Queue().Stats()
 	res.QueueDropped = qs.Dropped
 	res.QueueMarked = qs.Marked
-	pb, pp := d.Bottleneck.PeakQueue()
+	pb, pp := mon.PeakQueue()
 	res.PeakQueueBytes = int64(pb)
 	res.PeakQueuePackets = pp
 	if trc != nil {
 		res.Trace = trc.Dump()
 	}
-	sj := d.Bottleneck.Sojourn()
+	sj := mon.Sojourn()
 	res.SojournMean = sj.Mean
 	res.SojournMax = sj.Max
-	res.FaultLossDrops = d.Bottleneck.LossDrops()
-	res.FaultDownDrops = d.Bottleneck.DownDrops()
+	res.FaultLossDrops = mon.LossDrops()
+	res.FaultDownDrops = mon.DownDrops()
+	if cfg.Topology != nil {
+		res.Groups = GroupResults(net, cfg)
+		res.Ports = PortResults(net, cfg.Duration)
+	}
 	return res, nil
+}
+
+// BuildNet instantiates the config's topology (Config.Topology, or the
+// paper dumbbell when nil) with the grid parameters as role defaults.
+func BuildNet(eng *sim.Engine, cfg Config) (*topo.Network, error) {
+	spec := topo.DumbbellSpec()
+	if cfg.Topology != nil {
+		spec = *cfg.Topology
+	}
+	return topo.Build(eng, spec, topo.Params{
+		Bottleneck: cfg.Bottleneck,
+		RTT:        cfg.RTT,
+		PathLoss:   cfg.PathLoss,
+		Faults:     cfg.Faults,
+		Queue: aqm.Config{
+			Kind:     cfg.AQM,
+			Capacity: units.QueueBytes(cfg.Bottleneck, cfg.RTT, cfg.QueueBDP, 8960),
+			ECN:      cfg.ECN,
+			RED:      aqm.REDParams{Seed: cfg.Seed},
+			FQCoDel:  aqm.FQCoDelParams{Perturb: cfg.Seed},
+		},
+	})
+}
+
+// ClassCCA resolves the congestion controller for sender class ci: the
+// class's pinned CCA when declared, otherwise the grid pairing by index
+// (class 0 runs CCA1, every other class CCA2).
+func ClassCCA(cfg Config, cls topo.SenderSpec, ci int) cca.Name {
+	if cls.CCA != "" {
+		return cca.Name(cls.CCA)
+	}
+	if ci == 0 {
+		return cfg.Pairing.CCA1
+	}
+	return cfg.Pairing.CCA2
+}
+
+// ClassFlowCount resolves a class's flow count (pinned, else FlowsPerSender).
+func ClassFlowCount(cfg Config, cls topo.SenderSpec) int {
+	if cls.Flows > 0 {
+		return cls.Flows
+	}
+	return cfg.FlowsPerSender
+}
+
+// GroupResults assembles the per-class results for a built network.
+func GroupResults(net *topo.Network, cfg Config) []GroupResult {
+	out := make([]GroupResult, 0, net.NumClasses())
+	for ci := 0; ci < net.NumClasses(); ci++ {
+		cls := net.ClassSpec(ci)
+		out = append(out, GroupResult{
+			Name:        cls.Name,
+			CCA:         string(ClassCCA(cfg, cls, ci)),
+			Flows:       len(net.ClassFlows(ci)),
+			Bps:         float64(net.ClassGoodput(ci)) * 8 / cfg.Duration.Seconds(),
+			Retransmits: net.ClassRetransmits(ci),
+			Background:  cls.Background,
+		})
+	}
+	return out
+}
+
+// PortResults assembles the per-link results for the network's reported
+// ports (bottleneck-role, explicitly queued, and monitor links).
+func PortResults(net *topo.Network, dur time.Duration) []PortResult {
+	idxs := net.ReportPorts()
+	out := make([]PortResult, 0, len(idxs))
+	for _, i := range idxs {
+		po := net.Ports()[i]
+		qs := po.Queue().Stats()
+		pb, pp := po.PeakQueue()
+		sj := po.Sojourn()
+		rate := net.PortRate(i)
+		out = append(out, PortResult{
+			Name:             po.Name,
+			RateBps:          rate,
+			TxBytes:          int64(po.TxBytes()),
+			Utilization:      float64(po.TxBytes()) * 8 / dur.Seconds() / float64(rate),
+			Dropped:          qs.Dropped,
+			Marked:           qs.Marked,
+			PeakQueueBytes:   int64(pb),
+			PeakQueuePackets: pp,
+			SojournMean:      sj.Mean,
+			SojournMax:       sj.Max,
+		})
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -158,7 +159,7 @@ func TestCheckpointResume(t *testing.T) {
 		if second[i].Errored() {
 			t.Fatalf("config %d errored on resume: %s", i, second[i].Error)
 		}
-		if i != 2 && second[i] != first[i] {
+		if i != 2 && !reflect.DeepEqual(second[i], first[i]) {
 			t.Fatalf("config %d: resumed result differs from journaled original", i)
 		}
 	}

@@ -1,0 +1,167 @@
+package experiment
+
+// Scenario tests for the graph topologies: each pins the qualitative
+// network-layer behaviour its preset was built to exhibit — per-hop
+// contention on the parking lot, ACK-channel congestion on the constrained
+// reverse path, and fairness shift under background cross-traffic. All run
+// with the invariant auditor armed: a multi-bottleneck graph must conserve
+// packets exactly like the dumbbell.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+func runTopo(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParkingLotPerHopUtilization: with a long flow crossing every hop and
+// one single-hop class per bottleneck, each of the three bottlenecks must
+// run near capacity (the hop class fills whatever the long flow concedes),
+// and the long flow — facing three queues and triple the loss exposure —
+// must get the smallest share. The audit bit keeps packet conservation
+// checked across the demux fan-out.
+func TestParkingLotPerHopUtilization(t *testing.T) {
+	pl := topo.ParkingLotSpec(3)
+	res := runTopo(t, Config{
+		Pairing:    Pairing{cca.Cubic, cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 100 * units.MegabitPerSec,
+		Duration:   10 * time.Second,
+		Seed:       1,
+		Topology:   &pl,
+		Audit:      true,
+	})
+	if len(res.Ports) != 3 {
+		t.Fatalf("ports = %d, want the 3 bottlenecks", len(res.Ports))
+	}
+	for _, p := range res.Ports {
+		if p.Utilization < 0.85 {
+			t.Errorf("bottleneck %s underutilized: %.3f (want ≥ 0.85)", p.Name, p.Utilization)
+		}
+		if p.Utilization > 1.01 {
+			t.Errorf("bottleneck %s over unity: %.3f", p.Name, p.Utilization)
+		}
+	}
+	if len(res.Groups) != 4 {
+		t.Fatalf("groups = %d, want long + 3 hop classes", len(res.Groups))
+	}
+	long := res.Groups[0]
+	if long.Name != "long" {
+		t.Fatalf("class 0 = %q, want the long flow", long.Name)
+	}
+	for _, g := range res.Groups[1:] {
+		if long.Bps >= g.Bps {
+			t.Errorf("long flow (%.1f Mbps) should trail single-hop %s (%.1f Mbps)",
+				long.Bps/1e6, g.Name, g.Bps/1e6)
+		}
+	}
+}
+
+// TestReversePathAckCongestion: when the ACK channel is squeezed to a small
+// fraction of the forward rate behind a shallow FIFO, acknowledgements
+// themselves queue and drop; delayed ACKs halve the ACK packet rate, so
+// enabling them must recover substantial forward throughput. This is the
+// classic asymmetric-path result the preset exists to reproduce.
+func TestReversePathAckCongestion(t *testing.T) {
+	rp := topo.ReversePathSpec(0.004, 64*1024)
+	base := Config{
+		Pairing:    Pairing{cca.Cubic, cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 100 * units.MegabitPerSec,
+		Duration:   10 * time.Second,
+		Seed:       1,
+		Topology:   &rp,
+		Audit:      true,
+	}
+	plain := runTopo(t, base)
+	delayed := base
+	delayed.DelayedAck = true
+	dack := runTopo(t, delayed)
+
+	tput := func(r Result) float64 { return r.SenderBps[0] + r.SenderBps[1] }
+	if tput(plain) >= 0.8*100e6 {
+		t.Errorf("constrained reverse path did not bite: %.1f Mbps total forward", tput(plain)/1e6)
+	}
+	if dack.Utilization <= plain.Utilization*1.1 {
+		t.Errorf("delayed ACKs should relieve ACK congestion: util %.3f (delayed) vs %.3f (per-packet ACKs)",
+			dack.Utilization, plain.Utilization)
+	}
+	// The squeezed return link must show real queueing pressure.
+	var ret *PortResult
+	for i := range plain.Ports {
+		if plain.Ports[i].Name == "r2->r1" {
+			ret = &plain.Ports[i]
+		}
+	}
+	if ret == nil {
+		t.Fatalf("return link missing from port results: %+v", plain.Ports)
+	}
+	if ret.Utilization < 0.9 {
+		t.Errorf("ACK channel not saturated: %.3f", ret.Utilization)
+	}
+	if ret.SojournMean <= time.Millisecond {
+		t.Errorf("no ACK queueing delay on the constrained return: %v", ret.SojournMean)
+	}
+}
+
+// TestCrossTrafficShiftsFairness: adding a background CUBIC elephant to the
+// bottleneck must change the measured pair's fairness relative to the clean
+// dumbbell — the background class takes real bandwidth (reported in Groups
+// but excluded from the two-sender Jain) — while total bottleneck
+// utilization stays high.
+func TestCrossTrafficShiftsFairness(t *testing.T) {
+	base := Config{
+		Pairing:    Pairing{cca.BBRv1, cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 100 * units.MegabitPerSec,
+		Duration:   10 * time.Second,
+		Seed:       1,
+		Audit:      true,
+	}
+	solo := runTopo(t, base)
+
+	ct := topo.CrossTrafficSpec("cubic")
+	crossed := base
+	crossed.Topology = &ct
+	cross := runTopo(t, crossed)
+
+	if len(cross.Groups) != 3 {
+		t.Fatalf("groups = %d, want s1 + s2 + bg", len(cross.Groups))
+	}
+	bg := cross.Groups[2]
+	if !bg.Background || bg.Name != "bg" {
+		t.Fatalf("class 2 is not the background elephant: %+v", bg)
+	}
+	if bg.Bps <= 1e6 {
+		t.Errorf("background class moved almost nothing: %.1f Mbps", bg.Bps/1e6)
+	}
+	if cross.Jain == solo.Jain {
+		t.Errorf("cross traffic left the pair's fairness untouched: jain=%.6f both ways", solo.Jain)
+	}
+	// The pair's combined share must shrink: the elephant's bytes crossed
+	// the same bottleneck.
+	soloPair := solo.SenderBps[0] + solo.SenderBps[1]
+	crossPair := cross.SenderBps[0] + cross.SenderBps[1]
+	if crossPair >= soloPair {
+		t.Errorf("measured pair lost no bandwidth to cross traffic: %.1f vs %.1f Mbps",
+			crossPair/1e6, soloPair/1e6)
+	}
+	if cross.Utilization < 0.85 {
+		t.Errorf("bottleneck underutilized with three classes: %.3f", cross.Utilization)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/aqm"
 	"repro/internal/cca"
 	"repro/internal/faults"
+	"repro/internal/topo"
 	"repro/internal/units"
 )
 
@@ -42,6 +43,11 @@ type GridSpec struct {
 	// Faults is a fault-profile spec: preset list, inline JSON, or @file
 	// (the faults.Parse syntax).
 	Faults string `json:"faults,omitempty"`
+	// Topo selects the network graph for every run: a preset name
+	// ("dumbbell", "parking-lot-3", "reverse-path:factor=0.005",
+	// "cross-traffic"), inline JSON, or @file (the topo.Parse syntax).
+	// Empty (and the canonical dumbbell) is the legacy dumbbell.
+	Topo string `json:"topo,omitempty"`
 	// Configs truncates the expanded grid to its first N configurations
 	// (0 = all; for smoke tests).
 	Configs int `json:"configs,omitempty"`
@@ -66,6 +72,7 @@ func (s *GridSpec) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&s.Duration, "duration", s.Duration, "override simulated duration for every run (e.g. 6s)")
 	fs.BoolVar(&s.PaperScale, "paper-scale", s.PaperScale, "full 200s runs and uncapped flow counts")
 	fs.StringVar(&s.Faults, "faults", s.Faults, "fault profile for every run: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
+	fs.StringVar(&s.Topo, "topo", s.Topo, "network topology for every run: preset (dumbbell, parking-lot-3, reverse-path[:factor=0.005], cross-traffic[:cca=bbr1]), inline JSON, or @file.json")
 	fs.IntVar(&s.Configs, "configs", s.Configs, "truncate the grid to its first N configurations (0 = all; for smoke tests)")
 	fs.Uint64Var(&s.MaxEvents, "max-events", s.MaxEvents, "per-run watchdog: abort a configuration after this many simulator events (0 = unlimited)")
 	fs.StringVar(&s.MaxWall, "max-wall", s.MaxWall, "per-run watchdog: abort a configuration after this much wall time (empty = unlimited)")
@@ -78,6 +85,7 @@ type parsed struct {
 	duration time.Duration
 	maxWall  time.Duration
 	profile  *faults.Profile
+	topology *topo.Spec
 }
 
 func (s GridSpec) parse() (parsed, error) {
@@ -163,6 +171,11 @@ func (s GridSpec) parse() (parsed, error) {
 		return p, fmt.Errorf("experiment: spec faults: %w", err)
 	}
 	p.profile = profile
+	topology, err := topo.Parse(s.Topo)
+	if err != nil {
+		return p, fmt.Errorf("experiment: spec topo: %w", err)
+	}
+	p.topology = topology
 	return p, nil
 }
 
@@ -198,6 +211,7 @@ func (s GridSpec) Expand() ([]Config, error) {
 			cfgs[i].Duration = p.duration
 		}
 		cfgs[i].Faults = p.profile
+		cfgs[i].Topology = p.topology
 		cfgs[i].MaxEvents = s.MaxEvents
 		cfgs[i].MaxWall = p.maxWall
 		cfgs[i].Audit = s.Audit
@@ -266,6 +280,17 @@ func (s GridSpec) Canonical() (GridSpec, error) {
 			s.Faults = ""
 		}
 	}
+	if s.Topo != "" {
+		// Same rule for topologies: any spelling (preset, JSON, @file)
+		// canonicalizes to the spec's content JSON, and the canonical
+		// dumbbell canonicalizes away entirely — so "-topo dumbbell"
+		// submissions share keys, caches and journals with legacy sweeps.
+		if p.topology != nil && !topo.IsDumbbell(p.topology) {
+			s.Topo = string(p.topology.Canonical())
+		} else {
+			s.Topo = ""
+		}
+	}
 	return s, nil
 }
 
@@ -302,6 +327,11 @@ func (s GridSpec) Note() string {
 	if profile, err := faults.Parse(s.Faults); err == nil {
 		if id := profile.ID(); id != "" {
 			note += ", faults=" + id
+		}
+	}
+	if topology, err := topo.Parse(s.Topo); err == nil {
+		if topology != nil && !topo.IsDumbbell(topology) {
+			note += ", topo=" + topology.ID()
 		}
 	}
 	if key, err := s.Key(); err == nil {

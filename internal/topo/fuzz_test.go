@@ -1,0 +1,91 @@
+package topo
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzTopoSpec throws arbitrary spec clauses at the topology parser. A
+// clause may be rejected, but an accepted one must yield a spec that
+// validates (no cycles, no dangling references, finite parameters), whose
+// normal form is a fixed point, and whose content key survives a JSON
+// round trip — the properties experiment identity and the graph builder
+// rely on. Build trusts Validate, so anything Parse lets through here is
+// something Build must not crash on.
+func FuzzTopoSpec(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"dumbbell",
+		"parking-lot",
+		"parking-lot-5",
+		"parking-lot:hops=2",
+		"parking-lot:hops=0",
+		"parking-lot-999",
+		"reverse-path",
+		"reverse-path:factor=0.005,buf=131072",
+		"reverse-path:factor=NaN",
+		"reverse-path:factor=2",
+		"cross-traffic",
+		"cross-traffic:cca=bbr1",
+		"dumbbell:frob=1",
+		"bogus",
+		"{",
+		`{"name":"x"}`,
+		`{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","from":"a","to":"b"}],"senders":[{"name":"s","path":["l"],"return":["l"]}]}`,
+		`{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","from":"a","to":"a"}],"senders":[{"name":"s","path":["l"],"return":["l"]}]}`,
+		`{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","from":"a","to":"b","rate_factor":1e308}],"senders":[{"name":"s","path":["l"],"return":["l"]}]}`,
+		`{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","from":"a","to":"b","path_loss":-3}],"senders":[{"name":"s","path":["l"],"return":["l"]}]}`,
+		`{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"name":"l","from":"a","to":"b","queue":{"kind":"red","bdp":2}}],"senders":[{"name":"s","path":["l"],"return":["l"]}],"monitor":"l"}`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, clause string) {
+		if strings.HasPrefix(strings.TrimSpace(clause), "@") {
+			t.Skip("file specs read the filesystem")
+		}
+		s, err := Parse(clause)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Parse(%q) returned both a spec and %v", clause, err)
+			}
+			return
+		}
+		if s == nil {
+			return // blank clause: the legacy dumbbell path
+		}
+		// Parse promises a normalized, valid spec.
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid spec: %v", clause, verr)
+		}
+		n := s.Normalize()
+		if again := n.Normalize(); !reflect.DeepEqual(n, again) {
+			t.Fatalf("Normalize not idempotent for %q:\n%+v\n%+v", clause, n, again)
+		}
+		for _, l := range n.Links {
+			if !finite(l.PathLoss) || l.PathLoss < 0 || l.PathLoss > 1 {
+				t.Fatalf("Parse(%q): link %q path loss %v escaped clamping", clause, l.Name, l.PathLoss)
+			}
+			if !finite(l.RateFactor) || !finite(l.DelayRTTFrac) {
+				t.Fatalf("Parse(%q): link %q non-finite factor survived", clause, l.Name)
+			}
+		}
+		// Identity must be stable across normalization and a JSON round
+		// trip — specs travel inside checkpointed experiment configs.
+		if s.Key() != n.Key() {
+			t.Fatalf("Parse(%q): key changes under normalization: %q vs %q", clause, s.Key(), n.Key())
+		}
+		data, jerr := json.Marshal(&n)
+		if jerr != nil {
+			t.Fatalf("Parse(%q): spec does not marshal: %v", clause, jerr)
+		}
+		rt, rerr := Parse(string(data))
+		if rerr != nil {
+			t.Fatalf("Parse(%q): round trip rejected %s: %v", clause, data, rerr)
+		}
+		if rt.Key() != s.Key() {
+			t.Fatalf("Parse(%q): key lost in JSON round trip: %q vs %q", clause, s.Key(), rt.Key())
+		}
+	})
+}

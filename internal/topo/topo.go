@@ -1,7 +1,16 @@
-// Package topo builds the paper's experimental topology (Fig. 1): a
-// dumbbell of two traffic-generating client nodes (Clemson), two routers
-// (Washington, NCSA) whose interconnect is the bottleneck carrying the AQM
-// under test, and two server nodes (TACC), with a 62 ms end-to-end RTT.
+// Package topo models experimental network topologies as declarative
+// graphs. A Spec describes nodes, unidirectional links (rate, delay, queue
+// discipline, loss, faults) and static per-class routes; Build instantiates
+// it on a sim.Engine as netem ports wired with audit conservation probes
+// and telemetry rings, returning named attachment points for tcp endpoints.
+//
+// The paper's own setup (Fig. 1) — a dumbbell of two traffic-generating
+// client nodes (Clemson), two routers (Washington, NCSA) whose interconnect
+// is the bottleneck carrying the AQM under test, and two server nodes
+// (TACC) at a 62 ms end-to-end RTT — is the DumbbellSpec preset, and
+// NewDumbbell remains as a thin compatibility wrapper that builds it.
+// ParkingLotSpec, ReversePathSpec and CrossTrafficSpec extend the family to
+// the multi-bottleneck scenarios where fairness conclusions change.
 package topo
 
 import (
@@ -55,7 +64,8 @@ func (cfg *Config) defaults() error {
 	return nil
 }
 
-// Demux routes packets to per-flow endpoints at the edge of the network.
+// Demux routes packets to per-flow endpoints at divergence points of the
+// graph (route forks and network edges).
 type Demux struct {
 	m map[packet.FlowID]netem.Receiver
 
@@ -83,121 +93,45 @@ func (d *Demux) Receive(now sim.Time, p *packet.Packet) {
 	packet.Release(p)
 }
 
-// Flow is one sender/receiver pair attached to the dumbbell.
+// Flow is one sender/receiver pair attached to the network.
 type Flow struct {
 	ID     packet.FlowID
-	Sender int // 0 or 1: which client node the flow originates from
+	Sender int // sender class index (0 or 1 on the dumbbell)
 	Conn   *tcp.Conn
 	Rcv    *tcp.Receiver
 	CCName string
 }
 
-// Dumbbell is the wired topology. Flows attach via AddFlow.
+// Dumbbell is the classic two-sender topology, kept as a named wrapper
+// over the generic Network built from DumbbellSpec.
 type Dumbbell struct {
-	Eng *sim.Engine
+	*Network
 	Cfg Config
 
 	// Bottleneck is router1's egress toward router2 — the port carrying
 	// the AQM and rate limit under test.
 	Bottleneck *netem.Port
-
-	clientTx [2]*netem.Port // client NIC egress (forward direction)
-	serverTx [2]*netem.Port // server NIC egress (ACK direction)
-	fwdCore  *netem.Port    // router2 → servers
-	revCore1 *netem.Port    // router2 → router1 (reverse)
-	revCore2 *netem.Port    // router1 → clients (reverse)
-
-	srvDemux *Demux
-	cliDemux *Demux
-
-	flows  []*Flow
-	nextID packet.FlowID
 }
 
-// NewDumbbell wires the topology on eng.
+// NewDumbbell wires the paper topology on eng by building DumbbellSpec —
+// proven byte-identical to the historical hand-wired construction.
 func NewDumbbell(eng *sim.Engine, cfg Config) (*Dumbbell, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	d := &Dumbbell{Eng: eng, Cfg: cfg, srvDemux: NewDemux(), cliDemux: NewDemux()}
-	d.srvDemux.aud = eng.Auditor()
-	d.cliDemux.aud = eng.Auditor()
-
-	// One-way delay split across the three forward hops, mirroring the
-	// Clemson→Washington→NCSA→TACC legs.
-	owd := cfg.RTT / 2
-	dEdge := owd / 4 // client→router1 and router2→server
-	dCore := owd / 2 // router1→router2 (the long continental leg)
-
-	// RED thresholds default to half the link BDP, capped at a fixed
-	// 400 KB — i.e. RED tuned for a 100 Mbps-class link and never
-	// rescaled. This is deliberate calibration to the paper: its RED
-	// results are flat in buffer size (thresholds don't track the
-	// configured limit), tolerable at 100-500 Mbps, and collapse as
-	// bandwidth grows past 1 Gbps, with the authors concluding RED's
-	// "internal parameters need to be properly optimized" for high-BW
-	// links — the signature of fixed thresholds starving a growing BDP.
-	// RED also needs the egress packet time for its idle-decay law.
-	q := cfg.Queue
-	if q.Kind == aqm.KindRED {
-		if q.RED.MaxTh <= 0 {
-			q.RED.MaxTh = units.BDP(cfg.BottleneckBW, cfg.RTT) / 2
-			if q.RED.MaxTh > 400_000 {
-				q.RED.MaxTh = 400_000
-			}
-		}
-		if q.RED.MinTh <= 0 {
-			q.RED.MinTh = q.RED.MaxTh / 3
-		}
-		if q.RED.MeanPktTime <= 0 {
-			q.RED.MeanPktTime = units.TransmissionTime(8960, cfg.BottleneckBW)
-		}
-		// max_p 1%: with Floyd's count-based spreading the effective drop
-		// rate approaches 2·max_p near MaxTh, and the paper's analysis
-		// hinges on RED's random-drop rate "rarely exceeding" BBRv2's 2%
-		// per-round loss threshold.
-		if q.RED.MaxP <= 0 {
-			q.RED.MaxP = 0.01
-		}
-	}
-	// Linux fq_codel enforces a 32 MB memory_limit by default no matter
-	// what packet limit is configured. At 25 Gbps that is only ~0.17 BDP,
-	// which is why the paper finds FQ_CODEL unable to fill its largest
-	// link while doing fine at 10 Gbps and below.
-	if q.Kind == aqm.KindFQCoDel && q.Capacity > 32*units.Megabyte {
-		q.Capacity = 32 * units.Megabyte
-	}
-	queue, err := aqm.New(q)
+	n, err := Build(eng, DumbbellSpec(), Params{
+		Bottleneck: cfg.BottleneckBW,
+		RTT:        cfg.RTT,
+		Queue:      cfg.Queue,
+		EdgeBW:     cfg.EdgeBW,
+		CoreBW:     cfg.CoreBW,
+		PathLoss:   cfg.PathLoss,
+		Faults:     cfg.Faults,
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Forward direction.
-	d.fwdCore = netem.NewPort(eng, "r2->srv", cfg.CoreBW, dEdge, nil, d.srvDemux)
-	if cfg.PathLoss > 0 {
-		d.fwdCore.SetLoss(cfg.PathLoss)
-	}
-	d.Bottleneck = netem.NewPort(eng, "r1->r2", cfg.BottleneckBW, dCore, queue, d.fwdCore)
-	d.clientTx[0] = netem.NewPort(eng, "c1->r1", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.Bottleneck)
-	d.clientTx[1] = netem.NewPort(eng, "c2->r1", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.Bottleneck)
-
-	// Reverse (ACK) direction: uncongested core.
-	d.revCore2 = netem.NewPort(eng, "r1->cli", cfg.CoreBW, dEdge, nil, d.cliDemux)
-	d.revCore1 = netem.NewPort(eng, "r2->r1", cfg.CoreBW, dCore, nil, d.revCore2)
-	d.serverTx[0] = netem.NewPort(eng, "s1->r2", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.revCore1)
-	d.serverTx[1] = netem.NewPort(eng, "s2->r2", cfg.EdgeBW, dEdge, aqm.NewFIFO(1<<34), d.revCore1)
-
-	d.ApplyFaults(cfg.Faults)
-	return d, nil
-}
-
-// ApplyFaults arms a fault profile on the bottleneck port — the link whose
-// impairments the fairness experiments study. Timeline entries are
-// scheduled relative to the current simulation time; a nil or empty
-// profile is a no-op. NewDumbbell calls this for Config.Faults, so it only
-// needs to be called directly for profiles decided after construction.
-func (d *Dumbbell) ApplyFaults(p *faults.Profile) {
-	faults.Apply(d.Eng, d.Bottleneck, p)
+	return &Dumbbell{Network: n, Cfg: cfg, Bottleneck: n.Monitor()}, nil
 }
 
 // AddFlow attaches a new flow originating at client node sender (0 or 1),
@@ -207,64 +141,15 @@ func (d *Dumbbell) AddFlow(sender int, tcpCfg tcp.Config, cc tcp.CongestionContr
 	if sender != 0 && sender != 1 {
 		panic(fmt.Sprintf("topo: sender must be 0 or 1, got %d", sender))
 	}
-	d.nextID++
-	id := d.nextID
-
-	cliPort := d.clientTx[sender]
-	srvPort := d.serverTx[sender]
-
-	conn := tcp.NewConn(d.Eng, id, tcpCfg, cc, func(p *packet.Packet) { cliPort.Send(p) })
-	mkRcv := tcp.NewReceiver
-	if tcpCfg.DelayedAck {
-		mkRcv = tcp.NewDelayedAckReceiver
-	}
-	rcv := mkRcv(d.Eng, id, tcpCfg.Header, func(p *packet.Packet) { srvPort.Send(p) })
-	d.srvDemux.Register(id, rcv)
-	d.cliDemux.Register(id, conn)
-
-	f := &Flow{ID: id, Sender: sender, Conn: conn, Rcv: rcv, CCName: cc.Name()}
-	d.flows = append(d.flows, f)
-	return f
+	return d.Network.AddFlow(sender, tcpCfg, cc)
 }
-
-// Flows returns all attached flows.
-func (d *Dumbbell) Flows() []*Flow { return d.flows }
 
 // SenderFlows returns the flows originating at client node sender.
-func (d *Dumbbell) SenderFlows(sender int) []*Flow {
-	var out []*Flow
-	for _, f := range d.flows {
-		if f.Sender == sender {
-			out = append(out, f)
-		}
-	}
-	return out
-}
+func (d *Dumbbell) SenderFlows(sender int) []*Flow { return d.ClassFlows(sender) }
 
 // SenderGoodput returns the cumulative contiguous bytes received across all
 // flows of one sender — the paper's per-sender throughput numerator.
-func (d *Dumbbell) SenderGoodput(sender int) int64 {
-	var total int64
-	for _, f := range d.flows {
-		if f.Sender == sender {
-			total += f.Rcv.Goodput()
-		}
-	}
-	return total
-}
+func (d *Dumbbell) SenderGoodput(sender int) int64 { return d.ClassGoodput(sender) }
 
 // SenderRetransmits returns total retransmitted segments for one sender.
-func (d *Dumbbell) SenderRetransmits(sender int) uint64 {
-	var total uint64
-	for _, f := range d.flows {
-		if f.Sender == sender {
-			total += f.Conn.Stats().Retransmits
-		}
-	}
-	return total
-}
-
-// TotalRetransmits sums retransmissions across all flows.
-func (d *Dumbbell) TotalRetransmits() uint64 {
-	return d.SenderRetransmits(0) + d.SenderRetransmits(1)
-}
+func (d *Dumbbell) SenderRetransmits(sender int) uint64 { return d.ClassRetransmits(sender) }

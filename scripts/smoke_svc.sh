@@ -13,7 +13,10 @@
 #      counter visible on /metrics;
 #   4. the same grid under a different -duration is different science and
 #      must re-simulate, never hit the cache;
-#   5. graceful shutdown drains and compacts the journal.
+#   5. a parking-lot topology sweep is distinct science (its Config.Key
+#      differs from the dumbbell's), runs audit-clean through the service,
+#      and a resubmission coalesces without new simulations;
+#   6. graceful shutdown drains and compacts the journal.
 #
 # Nonzero exit on any mismatch.
 set -eu
@@ -89,13 +92,32 @@ echo "smoke-svc: same grid, different -duration (must re-simulate)" >&2
 sims=$(awk '$1 == "sweepd_sims_total" {print $2}' "$tmp/metrics4.txt")
 [ "$sims" = "4" ] || fail "duration override was served stale cached results: sims_total=$sims, want 4"
 
+echo "smoke-svc: parking-lot topology sweep (distinct keys, audit-clean)" >&2
+TOPOSPEC="-topo parking-lot-3 -bws 100Mbps -queues 2 -aqms fifo -pairings cubic:cubic -duration 4s -audit"
+"$tmp/sweep" $TOPOSPEC -quiet -strict -remote "$base" -out "$tmp/served5.json" \
+    -print-metrics >"$tmp/metrics5.txt"
+sims=$(awk '$1 == "sweepd_sims_total" {print $2}' "$tmp/metrics5.txt")
+[ "$sims" = "5" ] || fail "parking-lot sweep did not simulate fresh: sims_total=$sims, want 5"
+grep -q '"name": *"parking-lot-3"' "$tmp/served5.json" ||
+    fail "served parking-lot results carry no topology spec"
+grep -q '"groups"' "$tmp/served5.json" && grep -q '"ports"' "$tmp/served5.json" ||
+    fail "served parking-lot results carry no per-class/per-port breakdown"
+
+echo "smoke-svc: parking-lot resubmission (must coalesce, 0 new sims)" >&2
+"$tmp/sweep" $TOPOSPEC -quiet -strict -remote "$base" -out "$tmp/served6.json" \
+    -print-metrics >"$tmp/metrics6.txt"
+cmp -s "$tmp/served5.json" "$tmp/served6.json" ||
+    fail "repeated parking-lot POST served different bytes"
+sims=$(awk '$1 == "sweepd_sims_total" {print $2}' "$tmp/metrics6.txt")
+[ "$sims" = "5" ] || fail "parking-lot resubmission re-simulated: sims_total=$sims, want 5"
+
 echo "smoke-svc: graceful shutdown (drain + journal compaction)" >&2
 kill "$pid"
 wait "$pid" || fail "daemon exited non-zero on SIGTERM"
 pid=""
 lines=$(grep -c . "$tmp/journal.ckpt.jsonl") ||
     fail "journal missing after shutdown"
-# 2 configs at 4s + the same 2 at 5s: four live science keys.
-[ "$lines" = "4" ] || fail "journal not compacted: $lines lines, want 4"
+# 2 configs at 4s + the same 2 at 5s + 1 parking-lot: five live science keys.
+[ "$lines" = "5" ] || fail "journal not compacted: $lines lines, want 5"
 
-echo "smoke-svc: OK (served = direct, repeats coalesced, cache hits on /metrics, overrides re-simulated, journal compacted)" >&2
+echo "smoke-svc: OK (served = direct, repeats coalesced, cache hits on /metrics, overrides re-simulated, parking-lot distinct + coalesced, journal compacted)" >&2
