@@ -28,6 +28,14 @@
 #                     coalesced with zero new simulations, cache hits visible
 #                     on /metrics, a -duration override re-simulated (never
 #                     served stale cache), journal compacted on shutdown
+#   make smoke-cluster — crash-tolerance check of sweepd cluster mode
+#                     (scripts/smoke_cluster.sh): coordinator + 3 workers on
+#                     ephemeral ports, one worker SIGKILLed mid-grid, sweep
+#                     completes with results byte-identical to a direct
+#                     single-process run (modulo wall_ns), every config
+#                     uploaded exactly once, re-queue/death counters visible
+#                     on /metrics, per-worker journals folded by sweepd -merge,
+#                     graceful worker stop releases leases (never expiry)
 #   make trace-smoke— end-to-end flight-recorder check (scripts/smoke_trace.sh):
 #                     tcpfair -telemetry-out records a run, cmd/timeline
 #                     renders cwnd + queue-occupancy timelines from it,
@@ -46,9 +54,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc trace-smoke fuzz-smoke bench bench-save bench-gate
+.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc smoke-cluster trace-smoke fuzz-smoke bench bench-save bench-gate
 
-ci: lint build test allocs bench-gate audit resilience smoke smoke-svc trace-smoke fuzz-smoke
+ci: lint build test allocs bench-gate audit resilience smoke smoke-svc smoke-cluster trace-smoke fuzz-smoke
 
 lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
@@ -86,6 +94,9 @@ smoke:
 
 smoke-svc:
 	GO="$(GO)" sh scripts/smoke_svc.sh
+
+smoke-cluster:
+	GO="$(GO)" sh scripts/smoke_cluster.sh
 
 trace-smoke:
 	GO="$(GO)" sh scripts/smoke_trace.sh

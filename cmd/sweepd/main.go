@@ -9,6 +9,19 @@
 //	sweepd -addr 127.0.0.1:0 -addr-file /tmp/addr    # ephemeral port, for scripts
 //	sweep -remote http://localhost:8422 -bws 1Gbps   # submit via the CLI client
 //
+// Cluster mode splits the daemon in two: one coordinator owns the API,
+// the cache, and the lease state machine, and any number of workers pull
+// leased batches of configurations, simulate them, and upload results.
+// Workers heartbeat; a worker that dies mid-lease has its unfinished
+// configurations re-queued after the lease TTL, already-uploaded results
+// are never re-simulated, and idle workers steal the tail of a
+// straggler's lease. The merged result set stays byte-identical to a
+// single-process sweep.
+//
+//	sweepd -coordinator -journal sweeps.ckpt.jsonl   # cluster brain
+//	sweepd -join http://coordinator:8422             # execution worker
+//	sweepd -merge -journal merged.jsonl w1.jsonl w2.jsonl  # fold worker journals
+//
 // API:
 //
 //	POST /v1/sweeps              submit a GridSpec (JSON body); identical
@@ -21,8 +34,19 @@
 //	GET  /v1/sweeps/{id}/trace   per-config telemetry NDJSON (needs -trace;
 //	                             ?config=<key> narrows to one configuration)
 //	GET  /metrics                Prometheus text format (histograms of
-//	                             per-config wall time and event rate)
+//	                             per-config wall time and event rate, plus
+//	                             sweepd_cluster_* lease counters with
+//	                             -coordinator)
 //	GET  /debug/pprof/           Go profiler (only with -pprof)
+//
+// Cluster API (coordinator only; used by sweepd -join, not by clients):
+//
+//	POST /v1/workers                       register, returns worker ID and
+//	                                       heartbeat/lease parameters
+//	POST /v1/workers/{id}/heartbeat        renew liveness and lease deadlines
+//	POST /v1/workers/{id}/lease            acquire a leased batch of configs
+//	POST /v1/workers/{id}/results          upload one result (idempotent)
+//	POST /v1/workers/{id}/release          hand back unworked lease remainder
 package main
 
 import (
@@ -37,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/experiment"
 	"repro/internal/svc"
 )
 
@@ -45,15 +70,48 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8422", "listen address (use :0 for an ephemeral port)")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
 		journal  = flag.String("journal", "", "JSONL checkpoint journal persisting the result cache (empty = in-memory only)")
-		shards   = flag.Int("shards", 0, "worker-pool shards (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "worker-pool shards, or parallel simulations with -join (0 = GOMAXPROCS)")
 		auditRun = flag.Bool("audit", false, "arm the runtime invariant auditor on every simulated configuration")
 		traceRun = flag.Bool("trace", false, "record flight-recorder telemetry for every simulated configuration (serves /v1/sweeps/{id}/trace)")
 		pprofOn  = flag.Bool("pprof", false, "mount the Go profiler at /debug/pprof/ (exposes internals; keep off on untrusted networks)")
+
+		coordinator = flag.Bool("coordinator", false, "cluster mode: lease configurations to joined workers instead of simulating locally")
+		join        = flag.String("join", "", "cluster mode: run as a worker for the coordinator at this URL (no local HTTP API)")
+		name        = flag.String("name", "", "worker name reported to the coordinator (default host:pid; only with -join)")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "failure-detection horizon: unrenewed leases and silent workers are reaped after this (only with -coordinator)")
+		heartbeat   = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = lease-ttl/5 on the coordinator, coordinator-suggested on a worker)")
+		leaseBatch  = flag.Int("lease-batch", 0, "maximum configurations per lease (0 = 16; only with -coordinator)")
+		merge       = flag.Bool("merge", false, "offline: fold the journals given as arguments into -journal, compact, and exit")
 	)
 	flag.Parse()
 
-	server, err := svc.New(svc.Options{Journal: *journal, Shards: *shards,
-		Audit: *auditRun, Trace: *traceRun, Pprof: *pprofOn})
+	modes := 0
+	for _, on := range []bool{*coordinator, *join != "", *merge} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatal(errors.New("-coordinator, -join, and -merge are mutually exclusive"))
+	}
+
+	if *merge {
+		if err := mergeJournals(*journal, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *join != "" {
+		runWorker(*join, *name, *journal, *shards, *heartbeat)
+		return
+	}
+
+	opts := svc.Options{Journal: *journal, Shards: *shards,
+		Audit: *auditRun, Trace: *traceRun, Pprof: *pprofOn}
+	if *coordinator {
+		opts.Cluster = &svc.ClusterOptions{LeaseTTL: *leaseTTL, Heartbeat: *heartbeat, LeaseBatch: *leaseBatch}
+	}
+	server, err := svc.New(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,8 +119,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s (journal=%s audit=%v trace=%v pprof=%v)\n",
-		ln.Addr(), orNone(*journal), *auditRun, *traceRun, *pprofOn)
+	mode := "pool"
+	if *coordinator {
+		mode = "coordinator"
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s (mode=%s journal=%s audit=%v trace=%v pprof=%v)\n",
+		ln.Addr(), mode, orNone(*journal), *auditRun, *traceRun, *pprofOn)
 	if *addrFile != "" {
 		// Write-then-rename so a watching script never reads a torn address.
 		tmp := *addrFile + ".tmp"
@@ -96,6 +158,78 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "sweepd: journal flushed, bye")
+}
+
+// runWorker joins a coordinator and works leases until SIGINT/SIGTERM, then
+// drains gracefully: in-flight simulations finish and upload, the rest of
+// the lease is released back so the coordinator reschedules it immediately.
+func runWorker(coordURL, name, journal string, parallel int, heartbeat time.Duration) {
+	w, err := svc.NewWorker(svc.WorkerOptions{
+		Coordinator: coordURL,
+		Name:        name,
+		Parallel:    parallel,
+		Journal:     journal,
+		Heartbeat:   heartbeat,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "sweepd: joining %s as worker (journal=%s)\n", coordURL, orNone(journal))
+	if err := w.Run(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+// mergeJournals folds per-worker JSONL journals into one cache journal:
+// every source result is appended to dest (content-addressed, so repeats
+// across workers collapse), then the journal is compacted down to one line
+// per configuration. Torn tails in the sources are healed by the normal
+// checkpoint-open path.
+func mergeJournals(dest string, sources []string) error {
+	if dest == "" {
+		return errors.New("-merge requires -journal (the destination)")
+	}
+	if len(sources) == 0 {
+		return errors.New("-merge requires source journals as arguments")
+	}
+	cache, err := svc.OpenCache(dest)
+	if err != nil {
+		return err
+	}
+	total, added := 0, 0
+	for _, src := range sources {
+		ck, err := experiment.OpenCheckpoint(src)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", src, err)
+		}
+		results := ck.Results()
+		if err := ck.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", src, err)
+		}
+		for _, res := range results {
+			total++
+			before := cache.Len()
+			if err := cache.Put(res); err != nil {
+				return fmt.Errorf("merge %s: %w", src, err)
+			}
+			if cache.Len() > before {
+				added++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "sweepd: merged %s (%d results)\n", src, len(results))
+	}
+	if err := cache.Compact(); err != nil {
+		return err
+	}
+	held := cache.Len()
+	if err := cache.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: %s now holds %d configurations (%d read, %d new)\n",
+		dest, held, total, added)
+	return nil
 }
 
 func orNone(s string) string {

@@ -91,6 +91,12 @@ func FuzzCheckpointReload(f *testing.F) {
 	f.Add(append(append([]byte{}, valid...), valid[:len(valid)/2]...)) // torn tail
 	f.Add([]byte("{\"config\":{}}\nnot json at all\n{\"jain\":"))
 	f.Add([]byte("null\n{}\n[]\n42\n\"str\""))
+	// The fsync-policy crash shape: a synced prefix of whole lines followed
+	// by an unsynced tail torn mid-line (see
+	// TestCheckpointSyncedPrefixSurvivesTornTail for the directed version).
+	prefix := append(append(append([]byte{}, valid...), '\n'), errored...)
+	prefix = append(prefix, '\n')
+	f.Add(append(prefix, dup[:len(dup)/3]...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "ck.jsonl")

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ResultSet is the serialized form of a sweep.
@@ -80,7 +81,26 @@ type Checkpoint struct {
 	f    *os.File
 	err  error // sticky: set when the journal handle is unusable (failed Compact reopen)
 	done map[string]Result
+
+	// Durability policy: Append fsyncs once syncEvery results accumulate
+	// unsynced or syncInterval has passed since the last sync, whichever
+	// comes first — bounding how many journaled-but-volatile results a
+	// power loss can take (the torn-tail healing in OpenCheckpoint already
+	// bounds the damage of a partial line to that one line). Syncing every
+	// append would serialize the worker pool on the disk; never syncing
+	// (the old behavior) left an entire page cache of results exposed.
+	syncEvery    int
+	syncInterval time.Duration
+	unsynced     int
+	lastSync     time.Time
+	syncs        uint64
 }
+
+// Default durability policy: at most 8 results or 200ms between fsyncs.
+const (
+	defaultSyncEvery    = 8
+	defaultSyncInterval = 200 * time.Millisecond
+)
 
 // OpenCheckpoint opens (creating if needed) the journal at path and loads
 // every previously completed result. Unparseable lines — e.g. a torn final
@@ -96,7 +116,8 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: open checkpoint %s: %w", path, err)
 	}
-	c := &Checkpoint{path: path, f: f, done: make(map[string]Result)}
+	c := &Checkpoint{path: path, f: f, done: make(map[string]Result),
+		syncEvery: defaultSyncEvery, syncInterval: defaultSyncInterval, lastSync: time.Now()}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for sc.Scan() {
@@ -173,6 +194,59 @@ func (c *Checkpoint) Append(res Result) error {
 		return fmt.Errorf("experiment: checkpoint append: %w", err)
 	}
 	c.done[res.Config.Key()] = res
+	c.unsynced++
+	if c.unsynced >= c.syncEvery || time.Since(c.lastSync) >= c.syncInterval {
+		if err := c.syncLocked(); err != nil {
+			return fmt.Errorf("experiment: checkpoint sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// SetSyncPolicy overrides the durability policy: fsync after every results
+// or after interval since the last sync, whichever trips first. every <= 0
+// syncs on every append; interval <= 0 disables the time trigger.
+func (c *Checkpoint) SetSyncPolicy(every int, interval time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if every <= 0 {
+		every = 1
+	}
+	if interval <= 0 {
+		interval = time.Duration(1<<63 - 1)
+	}
+	c.syncEvery, c.syncInterval = every, interval
+}
+
+// Syncs reports how many fsyncs the policy has issued (for tests and
+// durability accounting).
+func (c *Checkpoint) Syncs() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncs
+}
+
+// Sync forces the journal to stable storage immediately, regardless of how
+// few appends are pending.
+func (c *Checkpoint) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return c.syncLocked()
+}
+
+func (c *Checkpoint) syncLocked() error {
+	if c.f == nil {
+		return nil
+	}
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	c.unsynced = 0
+	c.lastSync = time.Now()
+	c.syncs++
 	return nil
 }
 
@@ -261,15 +335,25 @@ func (c *Checkpoint) Compact() error {
 	}
 	c.f.Close()
 	c.f = f
+	// The compacted file was synced before the rename; nothing is pending.
+	c.unsynced = 0
+	c.lastSync = time.Now()
 	return nil
 }
 
-// Close closes the underlying journal file.
+// Close syncs any appends still pending under the batch policy and closes
+// the journal file — a cleanly shut-down journal is always durable.
 func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.f == nil {
 		return c.err
+	}
+	if c.unsynced > 0 {
+		if err := c.syncLocked(); err != nil {
+			c.f.Close()
+			return fmt.Errorf("experiment: checkpoint close sync: %w", err)
+		}
 	}
 	return c.f.Close()
 }

@@ -1,0 +1,577 @@
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// ClusterOptions configure coordinator mode: instead of simulating on a
+// local pool, the daemon hands leased batches of configurations to workers
+// that registered over HTTP, and survives their failures.
+type ClusterOptions struct {
+	// LeaseTTL is the failure-detection horizon: a lease not renewed (by a
+	// heartbeat or an upload) within this window is taken back, and a
+	// worker silent for longer than this is declared dead and its leases
+	// re-queued. Default 15s.
+	LeaseTTL time.Duration
+	// Heartbeat is the interval workers are told to heartbeat at. Default
+	// LeaseTTL/5.
+	Heartbeat time.Duration
+	// LeaseBatch is the maximum configurations per lease. Bigger batches
+	// amortize RPCs; smaller ones bound how much work a worker death can
+	// strand until re-queue. Default 16.
+	LeaseBatch int
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 5
+	}
+	if o.LeaseBatch <= 0 {
+		o.LeaseBatch = 16
+	}
+	return o
+}
+
+// clusterCounters are the coordinator's /metrics counters. All mutation
+// happens under Coordinator.mu.
+type clusterCounters struct {
+	workersJoined    uint64 // registrations (including re-registrations)
+	workersDead      uint64 // workers reaped for missing heartbeats
+	heartbeats       uint64
+	leasesGranted    uint64
+	leasesExpired    uint64 // leases taken back on deadline
+	leasesReleased   uint64 // leases handed back by a draining worker
+	leasesStolen     uint64 // steal events (tail of a straggler's lease)
+	configsLeased    uint64 // configurations granted across all leases
+	configsRequeued  uint64 // configurations moved leased→pending (expiry, death, release)
+	configsStolen    uint64 // configurations moved between live leases
+	results          uint64 // unique accepted uploads
+	duplicateResults uint64 // idempotent re-uploads (retries, stolen double-runs)
+}
+
+// Coordinator is the cluster brain sweepd runs with -coordinator: it owns
+// the task table, the worker registry, and the lease state machine, and it
+// feeds results into the same content-addressed cache and job machinery the
+// single-process pool does — so a cluster sweep is byte-identical to a solo
+// one. Crash tolerance is lease-based: every grant carries a deadline,
+// heartbeats and uploads renew it, and a reaper re-queues whatever dead or
+// silent workers were holding. Uploads are idempotent by Config.Key(), so
+// retries and stolen double-executions cost a counter bump, never a wrong
+// or duplicated result.
+type Coordinator struct {
+	opts  ClusterOptions
+	cache *Cache
+
+	mu      sync.Mutex
+	workers map[string]*clusterWorker
+	tasks   map[string]*clusterTask
+	pending []*clusterTask // FIFO, lazily compacted (entries may have left taskPending)
+	leases  map[string]*lease
+	ring    hashRing
+	nextID  uint64 // worker and lease ID sequence
+	closed  bool
+	c       clusterCounters
+
+	// now is injectable for deterministic expiry tests.
+	now func() time.Time
+
+	reapStop chan struct{}
+	reapDone chan struct{}
+}
+
+// NewCoordinator starts a coordinator over the shared result cache and
+// begins reaping expired leases and dead workers in the background.
+func NewCoordinator(opts ClusterOptions, cache *Cache) *Coordinator {
+	c := &Coordinator{
+		opts:     opts.withDefaults(),
+		cache:    cache,
+		workers:  make(map[string]*clusterWorker),
+		tasks:    make(map[string]*clusterTask),
+		leases:   make(map[string]*lease),
+		now:      time.Now,
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	go c.reapLoop()
+	return c
+}
+
+// reapLoop periodically sweeps for dead workers and expired leases. The
+// period is a quarter of the TTL so detection latency stays well under one
+// extra TTL.
+func (c *Coordinator) reapLoop() {
+	defer close(c.reapDone)
+	tick := time.NewTicker(c.opts.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.reapStop:
+			return
+		case <-tick.C:
+			c.Reap()
+		}
+	}
+}
+
+// Reap takes back every expired lease and every lease held by a worker
+// whose heartbeats stopped, moving their unfinished configurations back to
+// pending. It is called from the background loop and directly by tests.
+func (c *Coordinator) Reap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.opts.LeaseTTL {
+			for _, l := range w.leases {
+				c.requeueLeaseLocked(l)
+			}
+			delete(c.workers, id)
+			c.ring.remove(id)
+			c.c.workersDead++
+		}
+	}
+	for _, l := range c.leases {
+		if now.After(l.deadline) {
+			c.requeueLeaseLocked(l)
+			c.c.leasesExpired++
+		}
+	}
+}
+
+// requeueLeaseLocked returns a lease's unfinished tasks to the pending
+// queue and drops the lease. Tasks whose result already arrived (taskDone)
+// are gone from remaining and unaffected.
+func (c *Coordinator) requeueLeaseLocked(l *lease) {
+	for _, t := range l.remaining {
+		if t.state == taskLeased && t.lease == l {
+			t.state = taskPending
+			t.lease = nil
+			c.pending = append(c.pending, t)
+			c.c.configsRequeued++
+		}
+	}
+	l.remaining = map[string]*clusterTask{}
+	delete(c.leases, l.id)
+	if w, ok := c.workers[l.worker]; ok {
+		delete(w.leases, l.id)
+	}
+}
+
+// Enqueue schedules a configuration for the job's slot idx, coalescing onto
+// an existing task for the same science key. Like Pool.Do, it re-checks the
+// cache under the coordinator lock before opening a new task, so a result
+// uploaded between the server's cache miss and this call is served, not
+// re-simulated.
+func (c *Coordinator) Enqueue(key string, cfg experiment.Config, j *Job, idx int) {
+	c.mu.Lock()
+	if t, ok := c.tasks[key]; ok {
+		t.waiters = append(t.waiters, waiter{j, idx})
+		c.mu.Unlock()
+		return
+	}
+	if res, ok := c.cache.peek(key); ok {
+		c.mu.Unlock()
+		j.deliver(idx, res, true)
+		return
+	}
+	if c.closed {
+		c.mu.Unlock()
+		j.deliver(idx, experiment.Result{Config: cfg.Normalize(),
+			Error: "sweepd: coordinator shutting down; configuration was not scheduled"}, false)
+		return
+	}
+	t := &clusterTask{key: key, cfg: cfg, state: taskPending, waiters: []waiter{{j, idx}}}
+	c.tasks[key] = t
+	c.pending = append(c.pending, t)
+	c.mu.Unlock()
+}
+
+// ReleaseJob withdraws a cancelled job's interest in the given config keys.
+// Pending tasks nobody else wants are dropped unrun; leased tasks keep
+// running on their workers (the upload lands in the cache for the future)
+// with only this job's waiters removed.
+func (c *Coordinator) ReleaseJob(j *Job, keys []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, key := range keys {
+		t, ok := c.tasks[key]
+		if !ok {
+			continue
+		}
+		kept := t.waiters[:0]
+		for _, w := range t.waiters {
+			if w.job != j {
+				kept = append(kept, w)
+			}
+		}
+		t.waiters = kept
+		if len(t.waiters) == 0 && t.state == taskPending {
+			t.state = taskDone // lazily skipped when the pending queue is scanned
+			delete(c.tasks, key)
+		}
+	}
+}
+
+// register admits a worker (or re-admits one that was reaped during a
+// partition) and tells it the cluster's heartbeat and lease parameters.
+func (c *Coordinator) register(name string) registerResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := fmt.Sprintf("w%d", c.nextID)
+	if name == "" {
+		name = id
+	}
+	c.workers[id] = &clusterWorker{id: id, name: name, lastSeen: c.now(), leases: make(map[string]*lease)}
+	c.ring.add(id)
+	c.c.workersJoined++
+	return registerResponse{
+		WorkerID:    id,
+		HeartbeatNS: int64(c.opts.Heartbeat),
+		LeaseTTLNS:  int64(c.opts.LeaseTTL),
+		LeaseBatch:  c.opts.LeaseBatch,
+	}
+}
+
+// heartbeat renews a worker's liveness and every lease it holds. Unknown
+// workers (reaped during a partition, or a coordinator restart) get false —
+// the worker must re-register, and its old leases are already re-queued.
+func (c *Coordinator) heartbeat(workerID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return false
+	}
+	now := c.now()
+	w.lastSeen = now
+	for _, l := range w.leases {
+		l.deadline = now.Add(c.opts.LeaseTTL)
+	}
+	c.c.heartbeats++
+	return true
+}
+
+// acquire grants a worker a lease over up to max pending configurations,
+// preferring the shard the consistent-hash ring assigns it, falling back to
+// any pending work (an idle worker beats shard affinity), and finally
+// stealing the tail of the largest outstanding lease when the queue is
+// empty — so one straggling worker cannot pin the sweep's completion to its
+// own pace.
+func (c *Coordinator) acquire(workerID string, max int) (leaseResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return leaseResponse{}, false
+	}
+	now := c.now()
+	w.lastSeen = now
+	if max <= 0 || max > c.opts.LeaseBatch {
+		max = c.opts.LeaseBatch
+	}
+
+	var grant []*clusterTask
+	stolen := false
+	// Pass 1: this worker's shard. Pass 2: anything pending.
+	for pass := 0; pass < 2 && len(grant) < max; pass++ {
+		kept := c.pending[:0]
+		for _, t := range c.pending {
+			if t.state != taskPending { // lazily dropped (done, cancelled, or re-granted)
+				continue
+			}
+			if len(grant) < max && (pass == 1 || c.ring.owner(t.key) == workerID) {
+				grant = append(grant, t)
+				t.state = taskLeased // claimed; attached to the lease below
+				continue
+			}
+			kept = append(kept, t)
+		}
+		c.pending = kept
+	}
+	if len(grant) == 0 {
+		// Queue is dry: steal the tail of the straggler holding the most
+		// unfinished work, if there is enough of it to share.
+		var victim *lease
+		for _, l := range c.leases {
+			if l.worker == workerID || len(l.remaining) < 2 {
+				continue
+			}
+			if victim == nil || len(l.remaining) > len(victim.remaining) {
+				victim = l
+			}
+		}
+		if victim != nil {
+			for _, t := range victim.tail(len(victim.remaining) / 2) {
+				delete(victim.remaining, t.key)
+				grant = append(grant, t)
+			}
+			stolen = true
+			c.c.leasesStolen++
+			c.c.configsStolen += uint64(len(grant))
+		}
+	}
+	if len(grant) == 0 {
+		return leaseResponse{RetryAfterNS: int64(c.opts.Heartbeat)}, true
+	}
+
+	c.nextID++
+	l := &lease{
+		id:        fmt.Sprintf("%s-l%d", workerID, c.nextID),
+		worker:    workerID,
+		deadline:  now.Add(c.opts.LeaseTTL),
+		remaining: make(map[string]*clusterTask, len(grant)),
+	}
+	resp := leaseResponse{LeaseID: l.id, DeadlineNS: l.deadline.UnixNano(), Stolen: stolen}
+	for _, t := range grant {
+		t.state = taskLeased
+		t.lease = l
+		l.keys = append(l.keys, t.key)
+		l.remaining[t.key] = t
+		resp.Configs = append(resp.Configs, t.cfg)
+	}
+	c.leases[l.id] = l
+	w.leases[l.id] = l
+	c.c.leasesGranted++
+	c.c.configsLeased += uint64(len(grant))
+	return resp, true
+}
+
+// upload accepts one result. The first upload for a science key completes
+// the task — cache insertion happens under the coordinator lock, before the
+// task leaves the table, so Enqueue's second-chance lookup can never miss
+// both — and any later upload of the same key (an RPC retry after a lost
+// ACK, or a stolen config its original worker finished anyway) is
+// acknowledged as a duplicate no-op. Results are accepted regardless of the
+// uploader's registration state: a worker reaped during a partition still
+// carries valid science.
+func (c *Coordinator) upload(workerID string, res experiment.Result) (duplicate bool) {
+	key := res.Config.Key()
+	c.mu.Lock()
+	now := c.now()
+	if w, ok := c.workers[workerID]; ok {
+		w.lastSeen = now
+	}
+	t, ok := c.tasks[key]
+	if !ok || t.state == taskDone {
+		c.c.duplicateResults++
+		c.mu.Unlock()
+		return true
+	}
+	t.state = taskDone
+	if l := t.lease; l != nil {
+		delete(l.remaining, key)
+		l.deadline = now.Add(c.opts.LeaseTTL) // progress renews the lease
+		if len(l.remaining) == 0 {
+			delete(c.leases, l.id)
+			if w, ok := c.workers[l.worker]; ok {
+				delete(w.leases, l.id)
+			}
+		}
+	}
+	delete(c.tasks, key)
+	ws := t.waiters
+	t.waiters = nil
+	c.c.results++
+	if err := c.cache.Put(res); err != nil {
+		// Journal failures must not corrupt science (same policy as the
+		// pool): the result still reaches its waiters, the cache entry
+		// stays memory-only.
+		log.Printf("sweepd: cluster journal append: %v", err)
+	}
+	c.mu.Unlock()
+	for _, w := range ws {
+		w.job.deliver(w.idx, res, false)
+	}
+	return false
+}
+
+// release hands a draining worker's unfinished lease work back immediately
+// — the graceful path that never waits out a TTL. An empty leaseID with bye
+// set releases everything the worker holds and deregisters it.
+func (c *Coordinator) release(workerID, leaseID string, bye bool) (requeued int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return 0
+	}
+	before := c.c.configsRequeued
+	if leaseID != "" {
+		if l, ok := w.leases[leaseID]; ok {
+			c.requeueLeaseLocked(l)
+			c.c.leasesReleased++
+		}
+	}
+	if bye {
+		for _, l := range w.leases {
+			c.requeueLeaseLocked(l)
+			c.c.leasesReleased++
+		}
+		delete(c.workers, workerID)
+		c.ring.remove(workerID)
+	}
+	return int(c.c.configsRequeued - before)
+}
+
+// Close stops the reaper and fails every outstanding task so its jobs
+// complete (errored) instead of waiting for workers that will never be
+// answered.
+func (c *Coordinator) Close() {
+	close(c.reapStop)
+	<-c.reapDone
+	c.mu.Lock()
+	c.closed = true
+	tasks := make([]*clusterTask, 0, len(c.tasks))
+	for _, t := range c.tasks {
+		tasks = append(tasks, t)
+	}
+	c.tasks = make(map[string]*clusterTask)
+	c.pending = nil
+	c.leases = make(map[string]*lease)
+	c.mu.Unlock()
+	for _, t := range tasks {
+		res := experiment.Result{Config: t.cfg.Normalize(),
+			Error: "sweepd: coordinator shutting down; configuration was not run"}
+		for _, w := range t.waiters {
+			w.job.deliver(w.idx, res, false)
+		}
+	}
+}
+
+// clusterSnapshot gathers the coordinator gauges and counters for /metrics.
+type clusterSnapshot struct {
+	workers, leasesActive, pendingConfigs, leasedConfigs int
+	c                                                    clusterCounters
+}
+
+func (c *Coordinator) snapshot() clusterSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := clusterSnapshot{workers: len(c.workers), leasesActive: len(c.leases), c: c.c}
+	for _, t := range c.pending {
+		if t.state == taskPending {
+			s.pendingConfigs++
+		}
+	}
+	for _, l := range c.leases {
+		s.leasedConfigs += len(l.remaining)
+	}
+	return s
+}
+
+// Cluster wire types. Durations travel as int64 nanoseconds, matching the
+// _ns convention of every other wire struct in the repo.
+type registerRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+type registerResponse struct {
+	WorkerID    string `json:"worker_id"`
+	HeartbeatNS int64  `json:"heartbeat_ns"`
+	LeaseTTLNS  int64  `json:"lease_ttl_ns"`
+	LeaseBatch  int    `json:"lease_batch"`
+}
+
+type leaseRequest struct {
+	Max int `json:"max,omitempty"`
+}
+
+type leaseResponse struct {
+	LeaseID string `json:"lease_id,omitempty"`
+	// Configs is the leased batch; empty means no work right now, retry
+	// after RetryAfterNS.
+	Configs      []experiment.Config `json:"configs,omitempty"`
+	DeadlineNS   int64               `json:"deadline_unix_ns,omitempty"`
+	Stolen       bool                `json:"stolen,omitempty"`
+	RetryAfterNS int64               `json:"retry_after_ns,omitempty"`
+}
+
+type uploadRequest struct {
+	LeaseID string            `json:"lease_id,omitempty"`
+	Result  experiment.Result `json:"result"`
+}
+
+type uploadResponse struct {
+	Duplicate bool `json:"duplicate"`
+}
+
+type releaseRequest struct {
+	LeaseID string `json:"lease_id,omitempty"`
+	// Bye releases every lease the worker holds and deregisters it — the
+	// graceful shutdown goodbye.
+	Bye bool `json:"bye,omitempty"`
+}
+
+type releaseResponse struct {
+	Requeued int `json:"requeued"`
+}
+
+// Cluster HTTP handlers, mounted by Server.Handler in coordinator mode.
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.register(req.Name))
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !c.heartbeat(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "unknown worker %q (re-register)", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad lease body: %v", err)
+		return
+	}
+	resp, ok := c.acquire(r.PathValue("id"), req.Max)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown worker %q (re-register)", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req uploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad upload body: %v", err)
+		return
+	}
+	dup := c.upload(r.PathValue("id"), req.Result)
+	writeJSON(w, http.StatusOK, uploadResponse{Duplicate: dup})
+}
+
+func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad release body: %v", err)
+		return
+	}
+	n := c.release(r.PathValue("id"), req.LeaseID, req.Bye)
+	writeJSON(w, http.StatusOK, releaseResponse{Requeued: n})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,424 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// testRetry keeps chaos tests fast: two quick attempts instead of the
+// production four-with-seconds-of-backoff.
+var testRetry = retryPolicy{Attempts: 2, Base: 5 * time.Millisecond, Max: 25 * time.Millisecond, PerTry: 5 * time.Second}
+
+// newClusterServer starts a coordinator-mode server.
+func newClusterServer(t *testing.T, cluster ClusterOptions, opts Options) (*Server, *Client, string) {
+	t.Helper()
+	opts.Cluster = &cluster
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, &Client{Base: hs.URL, HTTP: hs.Client()}, hs.URL
+}
+
+// startWorker runs a Worker in the background and returns a drain function
+// that cancels it and waits for the graceful goodbye.
+func startWorker(t *testing.T, opts WorkerOptions) (drain func()) {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	if opts.Retry.Attempts == 0 {
+		opts.Retry = testRetry
+	}
+	w, err := NewWorker(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+			t.Errorf("worker exited: %v", err)
+		}
+	}()
+	var once sync.Once
+	drain = func() {
+		once.Do(func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Error("worker did not drain in time")
+			}
+		})
+	}
+	t.Cleanup(drain)
+	return drain
+}
+
+// fakeRun is a synthetic simulation for chaos tests that do not grade
+// science bytes: instant, deterministic, never errored.
+func fakeRun(cfg experiment.Config) experiment.Result {
+	return experiment.Result{Config: cfg.Normalize(), Utilization: 0.5, Jain: 1, Flows: 2}
+}
+
+// setNow swaps the coordinator's clock (reads happen under mu, so the swap
+// is race-free even with the reaper running).
+func (c *Coordinator) setNow(f func() time.Time) {
+	c.mu.Lock()
+	c.now = f
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) counters() clusterCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c
+}
+
+// TestClusterMatchesLocalSweep: the cluster is a distribution strategy, not
+// different science — a sweep served by coordinator + workers must be
+// byte-identical (modulo wall_ns) to a direct in-process sweep of the same
+// spec.
+func TestClusterMatchesLocalSweep(t *testing.T) {
+	spec := tinySpec()
+	cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := experiment.RunAllOpts(cfgs, experiment.RunAllOptions{Workers: 2, KeepGoing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := experiment.WriteJSON(&want, &experiment.ResultSet{Note: spec.Note(), Results: local}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, client, url := newClusterServer(t, ClusterOptions{LeaseTTL: 10 * time.Second}, Options{})
+	for i := 0; i < 2; i++ {
+		startWorker(t, WorkerOptions{Coordinator: url, Parallel: 2})
+	}
+	st, err := client.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, client, st.ID)
+	served, err := client.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stripWall(served), stripWall(want.Bytes())) {
+		t.Errorf("cluster bytes differ from a local sweep of the same spec.\n--- cluster ---\n%s\n--- local ---\n%s",
+			stripWall(served), stripWall(want.Bytes()))
+	}
+}
+
+// TestClusterWorkerDeathRequeues: a worker that takes a lease and goes
+// silent (SIGKILL's in-process twin) must be reaped after the TTL and its
+// unfinished configurations re-queued — and a healthy worker then finishes
+// the sweep. Nothing already uploaded is re-simulated.
+func TestClusterWorkerDeathRequeues(t *testing.T) {
+	s, client, url := newClusterServer(t,
+		ClusterOptions{LeaseTTL: time.Minute, LeaseBatch: 8}, Options{})
+	coord := s.cluster
+
+	// The doomed worker grabs a lease by hand (no heartbeat loop) and
+	// uploads exactly one result before "dying".
+	reg := coord.register("doomed")
+	spec := tinySpec()
+	st, err := client.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, ok := coord.acquire(reg.WorkerID, 8)
+	if !ok || len(lr.Configs) != 2 {
+		t.Fatalf("doomed worker leased %d configs (ok=%v), want 2", len(lr.Configs), ok)
+	}
+	if dup := coord.upload(reg.WorkerID, fakeRun(lr.Configs[0])); dup {
+		t.Fatal("first upload flagged duplicate")
+	}
+
+	// Silence past the TTL, then reap: the worker is dead, its remaining
+	// config re-queued, the uploaded one untouched.
+	coord.setNow(func() time.Time { return time.Now().Add(2 * time.Minute) })
+	coord.Reap()
+	c := coord.counters()
+	if c.workersDead != 1 {
+		t.Fatalf("workersDead = %d, want 1", c.workersDead)
+	}
+	if c.configsRequeued != 1 {
+		t.Fatalf("configsRequeued = %d, want 1 (the un-uploaded config only)", c.configsRequeued)
+	}
+	coord.setNow(time.Now)
+
+	// A healthy worker picks up the re-queued config and completes the job.
+	var sims atomic.Uint64
+	startWorker(t, WorkerOptions{Coordinator: url, Parallel: 1,
+		Run: func(cfg experiment.Config) experiment.Result {
+			sims.Add(1)
+			return fakeRun(cfg)
+		}})
+	waitDone(t, client, st.ID)
+	if got := sims.Load(); got != 1 {
+		t.Fatalf("healthy worker simulated %d configs, want exactly the 1 re-queued", got)
+	}
+	c = coord.counters()
+	if c.results != 2 {
+		t.Fatalf("results = %d, want 2", c.results)
+	}
+}
+
+// TestClusterPartitionHealReregisters: a worker partitioned past the TTL is
+// reaped; when the partition heals its heartbeat 404s, it re-registers
+// under a fresh identity, and the sweep still completes — with re-leased
+// configurations served from the worker's local journal, not re-simulated.
+func TestClusterPartitionHealReregisters(t *testing.T) {
+	s, client, url := newClusterServer(t,
+		ClusterOptions{LeaseTTL: 300 * time.Millisecond, Heartbeat: 50 * time.Millisecond, LeaseBatch: 2},
+		Options{})
+	coord := s.cluster
+
+	var partitioned atomic.Bool
+	base := http.DefaultTransport
+	hc := &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		if partitioned.Load() {
+			return nil, errors.New("injected partition")
+		}
+		return base.RoundTrip(r)
+	})}
+
+	// The worker journals locally, simulates slowly enough for the
+	// partition to land mid-lease, and counts its sims.
+	var sims atomic.Uint64
+	gate := make(chan struct{}, 64)
+	startWorker(t, WorkerOptions{
+		Coordinator: url,
+		Parallel:    1,
+		Journal:     filepath.Join(t.TempDir(), "worker.ckpt.jsonl"),
+		HTTP:        hc,
+		Run: func(cfg experiment.Config) experiment.Result {
+			sims.Add(1)
+			<-gate // each simulation waits for the test's go-ahead
+			return fakeRun(cfg)
+		},
+	})
+
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the first simulation start, then partition before it can upload.
+	waitFor(t, "first simulation", func() bool { return sims.Load() >= 1 })
+	partitioned.Store(true)
+	gate <- struct{}{} // finish sim 1; its upload fails into the void
+
+	// The coordinator reaps the silent worker and re-queues the lease.
+	waitFor(t, "worker reaped", func() bool { return coord.counters().workersDead >= 1 })
+
+	// Heal. The worker re-registers (heartbeat 404 path) and re-acquires
+	// the re-queued work; the config it already simulated comes from its
+	// journal, so total sims stays 2 (the grid size), not more.
+	partitioned.Store(false)
+	close(gate) // all further sims proceed immediately
+	waitDone(t, client, st.ID)
+
+	c := coord.counters()
+	if c.workersJoined < 2 {
+		t.Errorf("workersJoined = %d, want >= 2 (initial + re-register)", c.workersJoined)
+	}
+	if c.workersDead < 1 {
+		t.Errorf("workersDead = %d, want >= 1", c.workersDead)
+	}
+	if got := sims.Load(); got != 2 {
+		t.Errorf("worker simulated %d configs across the partition, want 2 (journal served the re-lease)", got)
+	}
+}
+
+// roundTripFunc adapts a function to http.RoundTripper.
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestClusterStealsFromStraggler: when the pending queue is dry and one
+// worker sits on a deep lease, an idle worker must steal the tail half —
+// and if the straggler later finishes a stolen config anyway, its upload is
+// a duplicate no-op, never a double result.
+func TestClusterStealsFromStraggler(t *testing.T) {
+	s, client, _ := newClusterServer(t,
+		ClusterOptions{LeaseTTL: time.Minute, LeaseBatch: 16}, Options{})
+	coord := s.cluster
+
+	spec := tinySpec()
+	spec.Seeds = 4 // 2 pairings x 4 seeds = 8 configs
+	st, err := client.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow := coord.register("straggler")
+	lr, ok := coord.acquire(slow.WorkerID, 16)
+	if !ok || len(lr.Configs) != 8 {
+		t.Fatalf("straggler leased %d configs, want all 8", len(lr.Configs))
+	}
+
+	fast := coord.register("thief")
+	stolen, ok := coord.acquire(fast.WorkerID, 16)
+	if !ok || !stolen.Stolen {
+		t.Fatalf("idle worker did not steal (ok=%v, resp=%+v)", ok, stolen)
+	}
+	if len(stolen.Configs) != 4 {
+		t.Fatalf("stole %d configs, want the tail half (4)", len(stolen.Configs))
+	}
+	c := coord.counters()
+	if c.leasesStolen != 1 || c.configsStolen != 4 {
+		t.Fatalf("steal counters = %d leases / %d configs, want 1/4", c.leasesStolen, c.configsStolen)
+	}
+
+	// Both workers race to finish a stolen config: first upload wins, the
+	// straggler's late duplicate is absorbed.
+	dupCfg := stolen.Configs[0]
+	if dup := coord.upload(fast.WorkerID, fakeRun(dupCfg)); dup {
+		t.Fatal("thief's upload flagged duplicate")
+	}
+	if dup := coord.upload(slow.WorkerID, fakeRun(dupCfg)); !dup {
+		t.Fatal("straggler's late upload of a stolen config was not flagged duplicate")
+	}
+
+	// Finish everything else and check the job completes with one result
+	// per config.
+	for _, cfg := range stolen.Configs[1:] {
+		coord.upload(fast.WorkerID, fakeRun(cfg))
+	}
+	for _, cfg := range lr.Configs {
+		coord.upload(slow.WorkerID, fakeRun(cfg)) // overlaps are duplicates
+	}
+	waitDone(t, client, st.ID)
+	c = coord.counters()
+	if c.results != 8 {
+		t.Errorf("results = %d, want 8", c.results)
+	}
+	if c.duplicateResults < 1 {
+		t.Errorf("duplicateResults = %d, want >= 1", c.duplicateResults)
+	}
+}
+
+// TestClusterGracefulReleaseNeverExpires: a worker stopped cleanly must
+// hand its unworked lease remainder back immediately (release + goodbye) —
+// the expiry path stays untouched, and another worker finishes the sweep
+// without waiting out a TTL.
+func TestClusterGracefulReleaseNeverExpires(t *testing.T) {
+	s, client, url := newClusterServer(t,
+		ClusterOptions{LeaseTTL: time.Minute, LeaseBatch: 8}, Options{})
+	coord := s.cluster
+
+	var sims atomic.Uint64
+	gate := make(chan struct{})
+	drain := startWorker(t, WorkerOptions{Coordinator: url, Parallel: 1,
+		Run: func(cfg experiment.Config) experiment.Result {
+			sims.Add(1)
+			<-gate // hold the first simulation so the drain happens mid-lease
+			return fakeRun(cfg)
+		}})
+
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first simulation", func() bool { return sims.Load() >= 1 })
+
+	// Drain the worker mid-lease: the in-flight config finishes and
+	// uploads, the unstarted one is released back, and the goodbye
+	// deregisters the worker.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(gate)
+	}()
+	drain()
+
+	c := coord.counters()
+	if c.leasesReleased < 1 {
+		t.Fatalf("leasesReleased = %d, want >= 1", c.leasesReleased)
+	}
+	if c.leasesExpired != 0 {
+		t.Fatalf("leasesExpired = %d, want 0 (graceful stop must not expire)", c.leasesExpired)
+	}
+	if c.configsRequeued < 1 {
+		t.Fatalf("configsRequeued = %d, want >= 1 (the released remainder)", c.configsRequeued)
+	}
+	coord.mu.Lock()
+	registered := len(coord.workers)
+	coord.mu.Unlock()
+	if registered != 0 {
+		t.Fatalf("%d workers still registered after goodbye, want 0", registered)
+	}
+
+	// A fresh worker picks up the released config; the sweep completes.
+	startWorker(t, WorkerOptions{Coordinator: url, Parallel: 1, Run: fakeRun})
+	waitDone(t, client, st.ID)
+}
+
+// TestClusterUploadIdempotent: the duplicate-absorbing upload path, which
+// makes RPC retries after lost ACKs safe, exercised directly.
+func TestClusterUploadIdempotent(t *testing.T) {
+	s, client, _ := newClusterServer(t, ClusterOptions{LeaseTTL: time.Minute}, Options{})
+	coord := s.cluster
+	reg := coord.register("w")
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, _ := coord.acquire(reg.WorkerID, 16)
+	res := fakeRun(lr.Configs[0])
+	if dup := coord.upload(reg.WorkerID, res); dup {
+		t.Fatal("first upload flagged duplicate")
+	}
+	for i := 0; i < 3; i++ { // retried uploads after a lost ACK
+		if dup := coord.upload(reg.WorkerID, res); !dup {
+			t.Fatalf("retry %d not flagged duplicate", i+1)
+		}
+	}
+	c := coord.counters()
+	if c.results != 1 || c.duplicateResults != 3 {
+		t.Fatalf("results/duplicates = %d/%d, want 1/3", c.results, c.duplicateResults)
+	}
+	// The cached result serves an identical re-submit without any worker.
+	for _, cfg := range lr.Configs[1:] {
+		coord.upload(reg.WorkerID, fakeRun(cfg))
+	}
+	waitDone(t, client, st.ID)
+}
+
+// heapInuse strips the only nondeterministic line from a fresh
+// coordinator's /metrics.
+var heapInuse = regexp.MustCompile(`(?m)^sweepd_heap_inuse_bytes .*$`)
+
+// TestClusterMetricsGolden pins the coordinator-mode /metrics surface: the
+// cluster gauges and counters, with the pool section absent (workers
+// simulate; the coordinator has no pool).
+func TestClusterMetricsGolden(t *testing.T) {
+	_, client, _ := newClusterServer(t, ClusterOptions{}, Options{})
+	body, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := heapInuse.ReplaceAll(body, []byte("sweepd_heap_inuse_bytes STRIPPED"))
+	checkGolden(t, "cluster_metrics.golden.txt", got)
+}

@@ -73,10 +73,12 @@ func (s *Server) snapshot() metricsSnapshot {
 	m.cacheHits = s.cache.Hits()
 	m.cacheMisses = s.cache.Misses()
 	m.cacheEntries = s.cache.Len()
-	m.configsCoalesced = s.pool.Coalesced()
-	m.sims = s.pool.Sims()
-	m.simEvents = s.pool.SimEvents()
-	m.simWall = time.Duration(s.pool.SimWallNS())
+	if s.pool != nil { // coordinator mode has no local pool; workers simulate
+		m.configsCoalesced = s.pool.Coalesced()
+		m.sims = s.pool.Sims()
+		m.simEvents = s.pool.SimEvents()
+		m.simWall = time.Duration(s.pool.SimWallNS())
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	m.heapInuse = ms.HeapInuse
@@ -108,40 +110,80 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Configuration lookups that required scheduling a simulation.", float64(m.cacheMisses))
 	emit("sweepd_cache_entries", "gauge",
 		"Distinct configuration results held in the cache.", float64(m.cacheEntries))
-	emit("sweepd_configs_coalesced_total", "counter",
-		"Configuration requests that joined an in-flight simulation.", float64(m.configsCoalesced))
-	emit("sweepd_sims_total", "counter",
-		"Configurations actually simulated by the pool.", float64(m.sims))
-	emit("sweepd_sim_events_total", "counter",
-		"Cumulative simulator events across all simulations.", float64(m.simEvents))
-	rate := 0.0
-	if m.simWall > 0 {
-		rate = float64(m.simEvents) / m.simWall.Seconds()
+	if s.pool != nil {
+		emit("sweepd_configs_coalesced_total", "counter",
+			"Configuration requests that joined an in-flight simulation.", float64(m.configsCoalesced))
+		emit("sweepd_sims_total", "counter",
+			"Configurations actually simulated by the pool.", float64(m.sims))
+		emit("sweepd_sim_events_total", "counter",
+			"Cumulative simulator events across all simulations.", float64(m.simEvents))
+		rate := 0.0
+		if m.simWall > 0 {
+			rate = float64(m.simEvents) / m.simWall.Seconds()
+		}
+		emit("sweepd_sim_events_per_second", "gauge",
+			"Aggregate simulator speed: events per wall-clock second of simulation.", rate)
 	}
-	emit("sweepd_sim_events_per_second", "gauge",
-		"Aggregate simulator speed: events per wall-clock second of simulation.", rate)
 	emit("sweepd_heap_inuse_bytes", "gauge",
 		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).", float64(m.heapInuse))
 
-	emitHist := func(name, help string, h histogram) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-		cum := uint64(0)
-		for i, bound := range h.bounds {
-			cum += h.counts[i]
-			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n",
-				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	if s.pool != nil {
+		emitHist := func(name, help string, h histogram) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+			cum := uint64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n",
+					name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+			fmt.Fprintf(&b, "%s_sum %s\n", name, strconv.FormatFloat(h.sum, 'g', -1, 64))
+			fmt.Fprintf(&b, "%s_count %d\n", name, h.count)
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
-		fmt.Fprintf(&b, "%s_sum %s\n", name, strconv.FormatFloat(h.sum, 'g', -1, 64))
-		fmt.Fprintf(&b, "%s_count %d\n", name, h.count)
+		wallHist, rateHist, peakQ := s.pool.Histograms()
+		emitHist("sweepd_sim_wall_seconds",
+			"Wall-clock duration of each simulated configuration.", wallHist)
+		emitHist("sweepd_sim_config_events_per_second",
+			"Simulator event rate of each simulated configuration.", rateHist)
+		emit("sweepd_sim_peak_queue_bytes", "gauge",
+			"Largest bottleneck-queue occupancy (bytes) any simulated configuration reached.", float64(peakQ))
 	}
-	wallHist, rateHist, peakQ := s.pool.Histograms()
-	emitHist("sweepd_sim_wall_seconds",
-		"Wall-clock duration of each simulated configuration.", wallHist)
-	emitHist("sweepd_sim_config_events_per_second",
-		"Simulator event rate of each simulated configuration.", rateHist)
-	emit("sweepd_sim_peak_queue_bytes", "gauge",
-		"Largest bottleneck-queue occupancy (bytes) any simulated configuration reached.", float64(peakQ))
+
+	if s.cluster != nil {
+		cs := s.cluster.snapshot()
+		emit("sweepd_cluster_workers", "gauge",
+			"Workers currently registered with the coordinator.", float64(cs.workers))
+		emit("sweepd_cluster_leases_active", "gauge",
+			"Leases currently outstanding across all workers.", float64(cs.leasesActive))
+		emit("sweepd_cluster_pending_configs", "gauge",
+			"Configurations waiting to be leased.", float64(cs.pendingConfigs))
+		emit("sweepd_cluster_leased_configs", "gauge",
+			"Configurations leased to workers and not yet uploaded.", float64(cs.leasedConfigs))
+		emit("sweepd_cluster_workers_joined_total", "counter",
+			"Worker registrations, including re-registrations after a partition.", float64(cs.c.workersJoined))
+		emit("sweepd_cluster_workers_dead_total", "counter",
+			"Workers reaped for missing heartbeats past the lease TTL.", float64(cs.c.workersDead))
+		emit("sweepd_cluster_heartbeats_total", "counter",
+			"Heartbeats accepted from registered workers.", float64(cs.c.heartbeats))
+		emit("sweepd_cluster_leases_granted_total", "counter",
+			"Leases granted to workers.", float64(cs.c.leasesGranted))
+		emit("sweepd_cluster_leases_expired_total", "counter",
+			"Leases taken back because their deadline passed unrenewed.", float64(cs.c.leasesExpired))
+		emit("sweepd_cluster_leases_released_total", "counter",
+			"Leases handed back voluntarily by draining workers.", float64(cs.c.leasesReleased))
+		emit("sweepd_cluster_leases_stolen_total", "counter",
+			"Steal events: an idle worker took the tail of a straggler's lease.", float64(cs.c.leasesStolen))
+		emit("sweepd_cluster_configs_leased_total", "counter",
+			"Configurations granted across all leases.", float64(cs.c.configsLeased))
+		emit("sweepd_cluster_configs_requeued_total", "counter",
+			"Configurations moved back to pending by expiry, worker death, or release.", float64(cs.c.configsRequeued))
+		emit("sweepd_cluster_configs_stolen_total", "counter",
+			"Configurations moved between live leases by work stealing.", float64(cs.c.configsStolen))
+		emit("sweepd_cluster_results_total", "counter",
+			"Unique results accepted from workers.", float64(cs.c.results))
+		emit("sweepd_cluster_duplicate_results_total", "counter",
+			"Idempotent re-uploads: RPC retries and stolen double-executions.", float64(cs.c.duplicateResults))
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

@@ -1,0 +1,125 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// retryPolicy is the shared backoff schedule for idempotent RPCs: the
+// client's GETs and every worker→coordinator call (registration, heartbeat,
+// lease acquisition, result upload — all of which are safe to repeat:
+// uploads are keyed by Config.Key() and deduplicated coordinator-side, so a
+// retried upload after a timed-out ACK is a no-op). Each attempt runs under
+// its own deadline (PerTry) derived from the caller's context, and attempts
+// are spaced by jittered exponential backoff so a thundering herd of
+// workers re-contacting a restarted coordinator spreads out instead of
+// synchronizing.
+type retryPolicy struct {
+	// Attempts is the retry budget: total tries, not re-tries (min 1).
+	Attempts int
+	// Base is the first backoff delay; each subsequent delay doubles.
+	Base time.Duration
+	// Max caps the backoff delay after doubling.
+	Max time.Duration
+	// PerTry bounds each individual attempt (0 = no per-attempt deadline
+	// beyond the caller's context).
+	PerTry time.Duration
+}
+
+// defaultRetry is the policy the Client and Worker use unless overridden:
+// four attempts over roughly 100ms + 200ms + 400ms of backoff, each attempt
+// bounded to 10s.
+var defaultRetry = retryPolicy{Attempts: 4, Base: 100 * time.Millisecond, Max: 2 * time.Second, PerTry: 10 * time.Second}
+
+// jitterRand spaces retries; protected by its own lock because retries can
+// fire from many worker goroutines at once. Seeded from wall time at init —
+// this is operational jitter, never part of simulation science (simulation
+// RNGs are engine-seeded and deterministic).
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// jitter returns a uniformly random duration in [d/2, d): full backoff
+// magnitude, desynchronized phase.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return d/2 + time.Duration(jitterRand.Int63n(int64(d/2)+1))
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying: server
+// errors and throttling are transient, client errors are not (a 404 from
+// the coordinator means "re-register", which is the caller's decision, not
+// a retry's).
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// errNotRetryable wraps an error the retry loop must surface immediately.
+type errNotRetryable struct{ err error }
+
+func (e errNotRetryable) Error() string { return e.err.Error() }
+func (e errNotRetryable) Unwrap() error { return e.err }
+
+// permanent marks err as not worth retrying (e.g. a 4xx response).
+func permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errNotRetryable{err}
+}
+
+// do runs f under the policy: per-attempt deadline, jittered exponential
+// backoff between attempts, and early exit on context cancellation or a
+// permanent() error. The last attempt's error is returned annotated with
+// the attempt count.
+func (rp retryPolicy) do(ctx context.Context, op string, f func(ctx context.Context) error) error {
+	attempts := rp.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := rp.Base
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("svc: %s: %w (after %d attempts)", op, ctx.Err(), i)
+			case <-time.After(jitter(delay)):
+			}
+			delay *= 2
+			if rp.Max > 0 && delay > rp.Max {
+				delay = rp.Max
+			}
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if rp.PerTry > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, rp.PerTry)
+		}
+		err = f(attemptCtx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		var perm errNotRetryable
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("svc: %s: %w (after %d attempts)", op, err, i+1)
+		}
+	}
+	return fmt.Errorf("svc: %s: %w (after %d attempts)", op, err, attempts)
+}

@@ -34,14 +34,21 @@ type Options struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ (default off: the
 	// profiler exposes heap contents and should not face untrusted clients).
 	Pprof bool
+	// Cluster switches the daemon into coordinator mode: instead of
+	// simulating on a local pool, cache misses become cluster tasks leased
+	// to workers that joined over HTTP (sweepd -join). The submit/stream/
+	// results API is unchanged; only where the simulations run differs.
+	Cluster *ClusterOptions
 }
 
-// Server is the sweep service: job registry, sharded pool, and
-// content-addressed cache behind an http.Handler.
+// Server is the sweep service: job registry, content-addressed cache, and
+// either a sharded local pool or a cluster coordinator behind an
+// http.Handler. Exactly one of pool and cluster is non-nil.
 type Server struct {
-	opts  Options
-	cache *Cache
-	pool  *Pool
+	opts    Options
+	cache   *Cache
+	pool    *Pool
+	cluster *Coordinator
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -50,13 +57,18 @@ type Server struct {
 	jobsCoalesced atomic.Uint64 // POSTs answered by an existing job
 }
 
-// New opens the cache (warm from the journal, if any) and starts the pool.
+// New opens the cache (warm from the journal, if any) and starts either the
+// local pool or, in coordinator mode, the cluster lease machinery.
 func New(opts Options) (*Server, error) {
 	cache, err := OpenCache(opts.Journal)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{opts: opts, cache: cache, jobs: make(map[string]*Job)}
+	if opts.Cluster != nil {
+		s.cluster = NewCoordinator(*opts.Cluster, cache)
+		return s, nil
+	}
 	s.pool = NewPool(opts.Shards, experiment.RunOne, func(res experiment.Result) {
 		// Journal failures must not corrupt science: the result still
 		// reaches its waiters, the cache just stays cold for that config.
@@ -67,6 +79,25 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
+// schedule routes one cache miss to wherever simulations run: the local
+// pool, or the cluster task table.
+func (s *Server) schedule(key string, cfg experiment.Config, j *Job, idx int) {
+	if s.cluster != nil {
+		s.cluster.Enqueue(key, cfg, j, idx)
+		return
+	}
+	s.pool.Do(key, cfg, j, idx)
+}
+
+// releaseWork withdraws a cancelled job's interest in the given keys.
+func (s *Server) releaseWork(j *Job, keys []string) {
+	if s.cluster != nil {
+		s.cluster.ReleaseJob(j, keys)
+		return
+	}
+	s.pool.Release(j, keys)
+}
+
 // Close gracefully shuts the service down: running configurations drain
 // (and reach the journal), queued ones are abandoned, and the journal is
 // compacted and closed.
@@ -74,7 +105,11 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
-	s.pool.Close()
+	if s.cluster != nil {
+		s.cluster.Close()
+	} else {
+		s.pool.Close()
+	}
 	cerr := s.cache.Compact()
 	if err := s.cache.Close(); err != nil {
 		return err
@@ -95,6 +130,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if s.cluster != nil {
+		mux.HandleFunc("POST /v1/workers", s.cluster.handleRegister)
+		mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.cluster.handleHeartbeat)
+		mux.HandleFunc("POST /v1/workers/{id}/lease", s.cluster.handleLease)
+		mux.HandleFunc("POST /v1/workers/{id}/results", s.cluster.handleUpload)
+		mux.HandleFunc("POST /v1/workers/{id}/release", s.cluster.handleRelease)
+	}
 	if s.opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -188,7 +230,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if res, ok := s.cache.Get(j.keys[i]); ok {
 			j.deliver(i, res, true)
 		} else {
-			s.pool.Do(j.keys[i], cfgs[i], j, i)
+			s.schedule(j.keys[i], cfgs[i], j, i)
 		}
 	}
 	writeStatus(w, http.StatusAccepted, j.Status())
@@ -264,7 +306,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		case <-r.Context().Done():
 			if remaining, inFlight := j.Unsubscribe(ch); remaining == 0 && inFlight {
-				s.pool.Release(j, j.Cancel())
+				s.releaseWork(j, j.Cancel())
 			}
 			return
 		}

@@ -1,0 +1,163 @@
+#!/bin/sh
+# smoke-cluster: end-to-end crash-tolerance check of sweepd cluster mode
+# (make smoke-cluster).
+#
+# Starts one coordinator and three workers on ephemeral ports, submits a
+# 504-configuration grid, SIGKILLs one worker mid-sweep, and proves the
+# cluster contract:
+#
+#   1. the sweep completes despite the killed worker: its unfinished lease
+#      is re-queued (visible on /metrics) and the survivors absorb it;
+#   2. the merged ResultSet is byte-identical to a direct single-process
+#      cmd/sweep run of the same GridSpec (modulo wall_ns);
+#   3. every configuration is uploaded exactly once
+#      (sweepd_cluster_results_total equals the grid size — retries and
+#      stolen double-runs land in the duplicate counter, never the results);
+#   4. sweepd -merge folds the per-worker journals into one cache journal
+#      holding exactly one line per configuration;
+#   5. graceful shutdown: surviving workers release their leases (never the
+#      expiry path) and the coordinator compacts its journal to one line
+#      per configuration.
+#
+# Nonzero exit on any mismatch.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+coord_pid=""
+w1_pid=""
+w2_pid=""
+w3_pid=""
+client_pid=""
+cleanup() {
+    for p in $client_pid $w1_pid $w2_pid $w3_pid $coord_pid; do
+        kill "$p" 2>/dev/null || true
+    done
+    for p in $client_pid $w1_pid $w2_pid $w3_pid $coord_pid; do
+        wait "$p" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke-cluster: FAIL: $*" >&2
+    for log in coordinator w1 w2 w3; do
+        [ -f "$tmp/$log.log" ] && tail -5 "$tmp/$log.log" | sed "s/^/smoke-cluster: $log: /" >&2
+    done
+    exit 1
+}
+
+metric() { # metric <name> — scrape one counter/gauge from the coordinator
+    curl -sf "$base/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+
+# 6 queues x 3 AQMs x 7 pairings x 4 seeds = 504 configurations, each cheap
+# (100Mbps, 4s) so the whole grid costs seconds while still leaving a wide
+# window to kill a worker mid-sweep.
+SPEC="-bws 100Mbps -queues 0.5,1,2,4,8,16 -aqms fifo,red,codel \
+ -pairings reno:reno,cubic:cubic,bbr1:bbr1,bbr2:bbr2,reno:cubic,cubic:bbr1,reno:bbr1 \
+ -seeds 4 -duration 4s"
+NCONF=504
+
+echo "smoke-cluster: building sweep and sweepd" >&2
+$GO build -o "$tmp/sweep" ./cmd/sweep
+$GO build -o "$tmp/sweepd" ./cmd/sweepd
+
+echo "smoke-cluster: direct single-process sweep (the byte-identity oracle)" >&2
+"$tmp/sweep" $SPEC -quiet -strict -out "$tmp/direct.json" >/dev/null
+
+echo "smoke-cluster: starting coordinator + 3 workers" >&2
+"$tmp/sweepd" -coordinator -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -journal "$tmp/coordinator.ckpt.jsonl" \
+    -lease-ttl 3s -heartbeat 500ms -lease-batch 8 2>"$tmp/coordinator.log" &
+coord_pid=$!
+i=0
+while [ ! -f "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "coordinator did not come up"
+    sleep 0.1
+done
+base="http://$(cat "$tmp/addr")"
+
+"$tmp/sweepd" -join "$base" -name w1 -journal "$tmp/w1.ckpt.jsonl" 2>"$tmp/w1.log" &
+w1_pid=$!
+"$tmp/sweepd" -join "$base" -name w2 -journal "$tmp/w2.ckpt.jsonl" 2>"$tmp/w2.log" &
+w2_pid=$!
+"$tmp/sweepd" -join "$base" -name w3 -journal "$tmp/w3.ckpt.jsonl" 2>"$tmp/w3.log" &
+w3_pid=$!
+
+echo "smoke-cluster: submitting the grid via $base" >&2
+"$tmp/sweep" $SPEC -quiet -remote "$base" -out "$tmp/served.json" >/dev/null 2>&1 &
+client_pid=$!
+
+echo "smoke-cluster: waiting for the sweep to reach ~10% to kill w1 mid-lease" >&2
+i=0
+while :; do
+    done_n=$(metric sweepd_cluster_results_total || echo 0)
+    [ "${done_n:-0}" -ge 50 ] 2>/dev/null && break
+    if ! kill -0 "$client_pid" 2>/dev/null; then
+        fail "client finished before the kill window (results=$done_n)"
+    fi
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && fail "sweep never reached the kill window (results=$done_n)"
+    sleep 0.1
+done
+
+echo "smoke-cluster: SIGKILL w1 at $done_n/$NCONF results" >&2
+kill -9 "$w1_pid" 2>/dev/null || fail "w1 already gone before the kill"
+wait "$w1_pid" 2>/dev/null || true
+w1_pid=""
+
+echo "smoke-cluster: waiting for the surviving workers to finish the sweep" >&2
+wait "$client_pid" || fail "remote sweep client exited non-zero after the kill"
+client_pid=""
+
+echo "smoke-cluster: byte-identity vs the direct sweep (modulo wall_ns)" >&2
+grep -v '"wall_ns"' "$tmp/direct.json" >"$tmp/direct.norm"
+grep -v '"wall_ns"' "$tmp/served.json" >"$tmp/served.norm"
+cmp -s "$tmp/direct.norm" "$tmp/served.norm" || {
+    diff "$tmp/direct.norm" "$tmp/served.norm" | head -40 >&2
+    fail "cluster ResultSet differs from the direct single-process sweep"
+}
+
+echo "smoke-cluster: lease/re-queue/steal counters on /metrics" >&2
+results=$(metric sweepd_cluster_results_total)
+[ "$results" = "$NCONF" ] ||
+    fail "results_total=$results, want $NCONF (every config uploaded exactly once)"
+dead=$(metric sweepd_cluster_workers_dead_total)
+[ "${dead:-0}" -ge 1 ] || fail "workers_dead_total=$dead, want >= 1 (the SIGKILLed worker)"
+requeued=$(metric sweepd_cluster_configs_requeued_total)
+[ "${requeued:-0}" -ge 1 ] ||
+    fail "configs_requeued_total=$requeued, want >= 1 (the killed worker's in-flight lease)"
+dups=$(metric sweepd_cluster_duplicate_results_total)
+echo "smoke-cluster: kill absorbed (dead=$dead requeued=$requeued duplicates=${dups:-0})" >&2
+
+echo "smoke-cluster: merging per-worker journals with sweepd -merge" >&2
+"$tmp/sweepd" -merge -journal "$tmp/merged.ckpt.jsonl" \
+    "$tmp/w1.ckpt.jsonl" "$tmp/w2.ckpt.jsonl" "$tmp/w3.ckpt.jsonl" 2>>"$tmp/coordinator.log" ||
+    fail "sweepd -merge exited non-zero"
+merged=$(grep -c . "$tmp/merged.ckpt.jsonl")
+[ "$merged" = "$NCONF" ] ||
+    fail "merged journal has $merged lines, want $NCONF (one per configuration)"
+
+echo "smoke-cluster: graceful worker shutdown (release, never expiry)" >&2
+expired_before=$(metric sweepd_cluster_leases_expired_total)
+kill "$w2_pid" && wait "$w2_pid" || fail "w2 exited non-zero on SIGTERM"
+w2_pid=""
+kill "$w3_pid" && wait "$w3_pid" || fail "w3 exited non-zero on SIGTERM"
+w3_pid=""
+expired_after=$(metric sweepd_cluster_leases_expired_total)
+[ "$expired_before" = "$expired_after" ] ||
+    fail "graceful worker shutdown tripped the lease-expiry path ($expired_before -> $expired_after)"
+
+echo "smoke-cluster: coordinator shutdown (journal compaction)" >&2
+kill "$coord_pid"
+wait "$coord_pid" || fail "coordinator exited non-zero on SIGTERM"
+coord_pid=""
+lines=$(grep -c . "$tmp/coordinator.ckpt.jsonl") ||
+    fail "coordinator journal missing after shutdown"
+[ "$lines" = "$NCONF" ] ||
+    fail "coordinator journal not compacted: $lines lines, want $NCONF"
+
+echo "smoke-cluster: OK (sweep survived SIGKILL, bytes = direct, $NCONF results exactly once, journals merged + compacted)" >&2
