@@ -36,6 +36,14 @@
 #                     uploaded exactly once, re-queue/death counters visible
 #                     on /metrics, per-worker journals folded by sweepd -merge,
 #                     graceful worker stop releases leases (never expiry)
+#   make smoke-chaos — durability check of sweepd under injected faults
+#                     (scripts/smoke_chaos.sh): coordinator with journal
+#                     fsync failures armed + workers in crash-restart loops
+#                     killed by a designated poison config; the poison is
+#                     quarantined after 3 crashes, the other results stay
+#                     byte-identical to a direct sweep, the journal degrades
+#                     and recovers, and a post-run sweepd -fsck finds the
+#                     compacted journal clean
 #   make trace-smoke— end-to-end flight-recorder check (scripts/smoke_trace.sh):
 #                     tcpfair -telemetry-out records a run, cmd/timeline
 #                     renders cwnd + queue-occupancy timelines from it,
@@ -54,9 +62,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc smoke-cluster trace-smoke fuzz-smoke bench bench-save bench-gate
+.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc smoke-cluster smoke-chaos trace-smoke fuzz-smoke bench bench-save bench-gate
 
-ci: lint build test allocs bench-gate audit resilience smoke smoke-svc smoke-cluster trace-smoke fuzz-smoke
+ci: lint build test allocs bench-gate audit resilience smoke smoke-svc smoke-cluster smoke-chaos trace-smoke fuzz-smoke
 
 lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
@@ -98,12 +106,16 @@ smoke-svc:
 smoke-cluster:
 	GO="$(GO)" sh scripts/smoke_cluster.sh
 
+smoke-chaos:
+	GO="$(GO)" sh scripts/smoke_chaos.sh
+
 trace-smoke:
 	GO="$(GO)" sh scripts/smoke_trace.sh
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFaultsParse -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointReload -fuzztime $(FUZZTIME) ./internal/experiment/
+	$(GO) test -run '^$$' -fuzz FuzzJournalV2Reload -fuzztime $(FUZZTIME) ./internal/experiment/
 	$(GO) test -run '^$$' -fuzz FuzzAQMQueueOps -fuzztime $(FUZZTIME) ./internal/aqm/
 	$(GO) test -run '^$$' -fuzz FuzzConnAckProcessing -fuzztime $(FUZZTIME) ./internal/tcp/
 	$(GO) test -run '^$$' -fuzz FuzzParseNDJSON -fuzztime $(FUZZTIME) ./internal/telemetry/

@@ -8,12 +8,15 @@
 package repro
 
 import (
+	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/aqm"
 	"repro/internal/cca"
 	"repro/internal/experiment"
+	"repro/internal/failpoint"
 	"repro/internal/faults"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -156,6 +159,63 @@ func TestAllocGuardWithFaultProfile(t *testing.T) {
 	if perPacket > 1.0 {
 		t.Errorf("fault path allocation regression: %.3f allocs per forwarded data packet "+
 			"(budget ≤ 1, same as the clean run)", perPacket)
+	}
+}
+
+// TestAllocGuardFailpointsDisabled: the failpoint hooks threaded through
+// the durability layer (checkpoint open/append/fsync/compact, cache puts,
+// RPC attempts) must be branch-cheap and alloc-free when disarmed. The
+// worst realistic state is "armed elsewhere": some unrelated point is
+// enabled, so every Eval takes the armed-but-miss path (global flag load +
+// mutex + name lookup) rather than the single atomic load. Even then the
+// simulate-and-checkpoint loop must hold the baseline per-packet budget,
+// and the checkpoint appends themselves must not fire or slow.
+func TestAllocGuardFailpointsDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2s of traffic; skipped in -short mode")
+	}
+	if err := failpoint.Enable("unrelated.alloc.guard=err(never hit)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	cfg := allocGuardConfig()
+
+	dir := t.TempDir()
+	run := 0
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exercise the failpoint-instrumented journal path end to end:
+		// open (checkpoint.open), append (checkpoint.append.write +
+		// checkpoint.fsync), close. All hooks evaluate and miss.
+		run++
+		ck, err := experiment.OpenCheckpoint(filepath.Join(dir, fmt.Sprintf("guard%d.jsonl", run)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.Append(res); err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.Close(); err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+
+	goodputBytes := (last.SenderBps[0] + last.SenderBps[1]) * cfg.Duration.Seconds() / 8
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+	perPacket := allocs / segments
+	t.Logf("allocs/run = %.0f over %.0f segments → %.3f allocs per forwarded data packet",
+		allocs, segments, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("disarmed failpoints are not free: %.3f allocs per forwarded data packet "+
+			"(budget ≤ 1, identical to the pre-failpoint baseline)", perPacket)
 	}
 }
 

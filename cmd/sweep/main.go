@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/failpoint"
 	"repro/internal/svc"
 	"repro/internal/telemetry"
 )
@@ -44,8 +45,19 @@ func main() {
 		remote       = flag.String("remote", "", "submit the spec to a sweepd daemon at this base URL instead of simulating locally")
 		printMetrics = flag.Bool("print-metrics", false, "after a -remote sweep, fetch the daemon's /metrics and print it to stdout")
 		traceDir     = flag.String("trace-dir", "", "record flight-recorder telemetry for every configuration and write one <Config.Key()>.trace.ndjson per result into this directory (local mode only; reruns overwrite deterministically)")
+		failpoints   = flag.String("failpoints", os.Getenv("FAILPOINTS"),
+			"arm fault-injection points for durability testing, e.g. 'checkpoint.fsync=err(disk full)@hit=2' (default $FAILPOINTS)")
 	)
 	flag.Parse()
+
+	if *failpoints != "" {
+		if err := failpoint.Enable(*failpoints); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sweep: failpoints armed: %s\n", *failpoints)
+		}
+	}
 
 	if *table3 != "" {
 		rs, err := experiment.LoadFile(*table3)

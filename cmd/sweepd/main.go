@@ -62,8 +62,28 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/failpoint"
 	"repro/internal/svc"
 )
+
+// fsckJournal runs the startup integrity scan on demand: CRC verification,
+// duplicate and science-key accounting, and (unless dry) a repair that
+// quarantines damaged raw bytes beside the journal and rewrites it as one
+// clean v2 record per live configuration.
+func fsckJournal(path string, repair bool) error {
+	if path == "" {
+		return errors.New("-fsck requires -journal")
+	}
+	rep, err := experiment.FsckJournal(path, repair)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sweepd: "+rep.String())
+	if !repair && rep.Dirty() {
+		return fmt.Errorf("journal %s is dirty (re-run without -fsck-dry-run to repair)", path)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -82,19 +102,39 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = lease-ttl/5 on the coordinator, coordinator-suggested on a worker)")
 		leaseBatch  = flag.Int("lease-batch", 0, "maximum configurations per lease (0 = 16; only with -coordinator)")
 		merge       = flag.Bool("merge", false, "offline: fold the journals given as arguments into -journal, compact, and exit")
+
+		fsck        = flag.Bool("fsck", false, "offline: verify -journal (CRCs, duplicates, science-key agreement), repair into a compacted journal, report drops, and exit")
+		fsckDry     = flag.Bool("fsck-dry-run", false, "with -fsck: report damage without rewriting the journal")
+		retryBudget = flag.Int("retry-budget", 0, "lease failures before a configuration is quarantined as poison (0 = 3; only with -coordinator)")
+		requeueQ    = flag.Bool("requeue-quarantined", false, "grant quarantined configurations a fresh retry budget when requested again (only with -coordinator)")
+		failpoints  = flag.String("failpoints", os.Getenv("FAILPOINTS"),
+			"arm fault-injection points, e.g. 'checkpoint.fsync=err(disk full)@times=3;worker.run=exit:7@arg=<config-id>' (default $FAILPOINTS)")
 	)
 	flag.Parse()
 
+	if *failpoints != "" {
+		if err := failpoint.Enable(*failpoints); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweepd: failpoints armed: %s\n", *failpoints)
+	}
+
 	modes := 0
-	for _, on := range []bool{*coordinator, *join != "", *merge} {
+	for _, on := range []bool{*coordinator, *join != "", *merge, *fsck} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(errors.New("-coordinator, -join, and -merge are mutually exclusive"))
+		fatal(errors.New("-coordinator, -join, -merge, and -fsck are mutually exclusive"))
 	}
 
+	if *fsck {
+		if err := fsckJournal(*journal, !*fsckDry); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *merge {
 		if err := mergeJournals(*journal, flag.Args()); err != nil {
 			fatal(err)
@@ -109,7 +149,8 @@ func main() {
 	opts := svc.Options{Journal: *journal, Shards: *shards,
 		Audit: *auditRun, Trace: *traceRun, Pprof: *pprofOn}
 	if *coordinator {
-		opts.Cluster = &svc.ClusterOptions{LeaseTTL: *leaseTTL, Heartbeat: *heartbeat, LeaseBatch: *leaseBatch}
+		opts.Cluster = &svc.ClusterOptions{LeaseTTL: *leaseTTL, Heartbeat: *heartbeat,
+			LeaseBatch: *leaseBatch, RetryBudget: *retryBudget, RequeueQuarantined: *requeueQ}
 	}
 	server, err := svc.New(opts)
 	if err != nil {
@@ -185,8 +226,11 @@ func runWorker(coordURL, name, journal string, parallel int, heartbeat time.Dura
 // mergeJournals folds per-worker JSONL journals into one cache journal:
 // every source result is appended to dest (content-addressed, so repeats
 // across workers collapse), then the journal is compacted down to one line
-// per configuration. Torn tails in the sources are healed by the normal
-// checkpoint-open path.
+// per configuration. Damage in a source — torn tails, corrupt regions,
+// key-mismatched records, even an unopenable file — is skipped and
+// reported, never fatal: every record the resilient reader can still
+// recover is merged, and the exit is nonzero only if no source yielded
+// anything at all.
 func mergeJournals(dest string, sources []string) error {
 	if dest == "" {
 		return errors.New("-merge requires -journal (the destination)")
@@ -198,15 +242,19 @@ func mergeJournals(dest string, sources []string) error {
 	if err != nil {
 		return err
 	}
-	total, added := 0, 0
+	total, added, merged, skipped := 0, 0, 0, 0
 	for _, src := range sources {
 		ck, err := experiment.OpenCheckpoint(src)
 		if err != nil {
-			return fmt.Errorf("open %s: %w", src, err)
+			fmt.Fprintf(os.Stderr, "sweepd: skipping %s: %v\n", src, err)
+			skipped++
+			continue
 		}
 		results := ck.Results()
+		st := ck.Stats()
 		if err := ck.Close(); err != nil {
-			return fmt.Errorf("close %s: %w", src, err)
+			fmt.Fprintf(os.Stderr, "sweepd: close %s: %v (its %d readable results are still merged)\n",
+				src, err, len(results))
 		}
 		for _, res := range results {
 			total++
@@ -218,8 +266,20 @@ func mergeJournals(dest string, sources []string) error {
 				added++
 			}
 		}
-		fmt.Fprintf(os.Stderr, "sweepd: merged %s (%d results)\n", src, len(results))
+		if d := st.Damaged(); d > 0 {
+			fmt.Fprintf(os.Stderr, "sweepd: merged %s (%d results; dropped %d damaged record(s): %d corrupt, %d key-mismatched, %d oversized)\n",
+				src, len(results), d, st.Corrupt, st.KeyMismatch, st.Oversized)
+		} else {
+			fmt.Fprintf(os.Stderr, "sweepd: merged %s (%d results)\n", src, len(results))
+		}
+		merged++
 	}
+	if merged == 0 {
+		cache.Close()
+		return fmt.Errorf("nothing merged: all %d source journal(s) unreadable", skipped)
+	}
+	// Compact fails while the destination journal is degraded (results shed
+	// to memory overflow) — the strict signal that the merge did not land.
 	if err := cache.Compact(); err != nil {
 		return err
 	}
@@ -227,8 +287,8 @@ func mergeJournals(dest string, sources []string) error {
 	if err := cache.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sweepd: %s now holds %d configurations (%d read, %d new)\n",
-		dest, held, total, added)
+	fmt.Fprintf(os.Stderr, "sweepd: %s now holds %d configurations (%d read, %d new, %d source(s) skipped)\n",
+		dest, held, total, added, skipped)
 	return nil
 }
 

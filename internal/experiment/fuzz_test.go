@@ -3,14 +3,24 @@ package experiment
 import (
 	"bytes"
 	"encoding/json"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/aqm"
 	"repro/internal/cca"
 )
+
+func mustUnmarshalResult(data []byte) Result {
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // journalLine renders one checkpoint JSONL line for a synthetic result.
 func journalLine(t *testing.T, seed uint64, jain float64, errMsg string) []byte {
@@ -61,12 +71,93 @@ func TestCheckpointLastWriteWins(t *testing.T) {
 	}
 }
 
+// oracleLine is the reference decoder for one journal line, deliberately
+// simpler than the real reader: it accepts exactly clean whole-line v2
+// frames and clean v1 JSON lines. The real reader may additionally recover
+// frames embedded in damaged lines (resync), so the oracle's accept set is
+// a lower bound — the fuzz targets assert containment always and equality
+// only when the reader reports a pristine file.
+//
+// Returns (result, accepted, ambiguous): ambiguous marks a line the oracle
+// refuses to rule on (a non-frame line containing the frame magic, where
+// the real reader's resync may legitimately see more than a line-based
+// decoder can).
+func oracleLine(line []byte) (Result, bool, bool) {
+	var zero Result
+	if len(line) == 0 || line[0] == '#' {
+		return zero, false, false
+	}
+	if bytes.HasPrefix(line, []byte("r ")) {
+		res, n, ok := oracleFrame(line)
+		if ok && n == len(line) {
+			return res, true, false
+		}
+		return zero, false, true // damaged frame territory: reader's call
+	}
+	var res Result
+	if json.Unmarshal(line, &res) != nil || res.Errored() {
+		return zero, false, bytes.Contains(line, []byte("r "))
+	}
+	if bytes.Contains(line, []byte("r ")) {
+		// Valid v1 JSON that also contains the frame magic: the reader
+		// scans it for embedded frames first, so don't pin its behavior.
+		return zero, false, true
+	}
+	return res, true, false
+}
+
+// oracleFrame strictly decodes "r <len> <crc8> <key16> <payload>" at the
+// start of b, returning the consumed length.
+func oracleFrame(b []byte) (Result, int, bool) {
+	var zero Result
+	rest := b[2:]
+	sp := bytes.IndexByte(rest, ' ')
+	if sp <= 0 || sp > 8 {
+		return zero, 0, false
+	}
+	plen, err := strconv.Atoi(string(rest[:sp]))
+	if err != nil || plen <= 0 {
+		return zero, 0, false
+	}
+	rest = rest[sp+1:]
+	if len(rest) < 26+plen || rest[8] != ' ' || rest[25] != ' ' {
+		return zero, 0, false
+	}
+	crc, err := strconv.ParseUint(string(rest[:8]), 16, 32)
+	if err != nil || crc32.ChecksumIEEE(rest[26:26+plen]) != uint32(crc) {
+		return zero, 0, false
+	}
+	var res Result
+	if json.Unmarshal(rest[26:26+plen], &res) != nil ||
+		string(rest[9:25]) != res.Config.Key() || res.Errored() {
+		return zero, 0, false
+	}
+	return res, 2 + sp + 1 + 26 + plen, true
+}
+
+// journalOracle folds oracleLine over a whole journal image.
+func journalOracle(data []byte) (want map[string][]byte, ambiguous int) {
+	want = map[string][]byte{}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		res, ok, amb := oracleLine(line)
+		if amb {
+			ambiguous++
+		}
+		if !ok {
+			continue
+		}
+		j, _ := json.Marshal(res)
+		want[res.Config.Key()] = j
+	}
+	return want, ambiguous
+}
+
 // FuzzCheckpointReload feeds arbitrary bytes to the checkpoint reader as a
 // journal file — torn lines, duplicate IDs, interleaved garbage, partial
-// JSON — and checks OpenCheckpoint against a line-by-line oracle: every
-// well-formed non-errored line is loaded with last-write-wins semantics,
-// everything else is skipped without failing the open, and the reopened
-// journal still accepts appends.
+// JSON, v1 and v2 records — and checks OpenCheckpoint against the
+// line-by-line oracle: every record the oracle accepts is recovered
+// (exactly, when the reader saw no damage), everything else is skipped
+// without failing the open, and the reopened journal still accepts appends.
 func FuzzCheckpointReload(f *testing.F) {
 	// Build realistic seeds out of genuine journal lines. TB-wise f is
 	// usable with journalLine via the fuzz target's *testing.T only, so
@@ -97,6 +188,21 @@ func FuzzCheckpointReload(f *testing.F) {
 	prefix := append(append(append([]byte{}, valid...), '\n'), errored...)
 	prefix = append(prefix, '\n')
 	f.Add(append(prefix, dup[:len(dup)/3]...))
+	// v2 shapes: a clean framed journal, a mixed-version journal, and a
+	// frame with a flipped payload bit (CRC must catch it).
+	frame := func(data []byte) []byte {
+		fr, _, err := encodeFrame(mustUnmarshalResult(data))
+		if err != nil {
+			f.Fatal(err)
+		}
+		return fr
+	}
+	header := []byte(journalHeaderV2 + "\n")
+	f.Add(append(append([]byte{}, header...), frame(valid)...))
+	f.Add(append(append(append([]byte{}, frame(valid)...), dup...), '\n'))
+	flipped := append([]byte{}, frame(valid)...)
+	flipped[len(flipped)/2] ^= 0x04
+	f.Add(append(append([]byte{}, header...), flipped...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "ck.jsonl")
@@ -105,35 +211,26 @@ func FuzzCheckpointReload(f *testing.F) {
 		}
 		ck, err := OpenCheckpoint(path)
 		if err != nil {
-			// Only a scanner-level failure (e.g. a line beyond the 16 MiB
-			// buffer) may reject a journal; fuzz inputs stay far below it.
 			t.Fatalf("OpenCheckpoint rejected a journal it must tolerate: %v", err)
 		}
 		defer ck.Close()
 
-		want := map[string][]byte{}
-		for _, line := range bytes.Split(data, []byte("\n")) {
-			if len(line) == 0 {
-				continue
-			}
-			var res Result
-			if json.Unmarshal(line, &res) != nil || res.Errored() {
-				continue
-			}
-			j, _ := json.Marshal(res)
-			want[res.Config.Key()] = j
-		}
-		if ck.Len() != len(want) {
-			t.Fatalf("reload kept %d entries, oracle says %d", ck.Len(), len(want))
+		want, ambiguous := journalOracle(data)
+		st := ck.Stats()
+		pristine := st.Damaged() == 0 && ambiguous == 0
+		if pristine && ck.Len() != len(want) {
+			t.Fatalf("pristine reload kept %d entries, oracle says %d", ck.Len(), len(want))
 		}
 		for id, wantJSON := range want {
 			got, ok := ck.Lookup(id)
 			if !ok {
 				t.Fatalf("entry %q lost in reload", id)
 			}
-			gotJSON, _ := json.Marshal(got)
-			if !bytes.Equal(gotJSON, wantJSON) {
-				t.Fatalf("entry %q: reload kept\n%s\noracle wants (last write)\n%s", id, gotJSON, wantJSON)
+			if pristine {
+				gotJSON, _ := json.Marshal(got)
+				if !bytes.Equal(gotJSON, wantJSON) {
+					t.Fatalf("entry %q: reload kept\n%s\noracle wants (last write)\n%s", id, gotJSON, wantJSON)
+				}
 			}
 		}
 
@@ -154,6 +251,93 @@ func FuzzCheckpointReload(f *testing.F) {
 		defer ck2.Close()
 		if got, ok := ck2.Lookup(fresh.Config.Key()); !ok || got.Jain != 0.777 {
 			t.Fatalf("appended result lost across reopen (ok=%v)", ok)
+		}
+	})
+}
+
+// FuzzJournalV2Reload attacks the CRC-framed v2 decoder specifically —
+// truncated headers, flipped bits, fused and interleaved frames, v1/v2
+// mixtures (the checked-in corpus under testdata/fuzz seeds these shapes)
+// — and checks the recovery fixed point: whatever the resilient reader
+// salvages, compacting and reloading yields byte-identical results from a
+// journal that is now clean v2. Recovery loses nothing to re-encoding and
+// never manufactures damage.
+func FuzzJournalV2Reload(f *testing.F) {
+	mk := func(seed uint64, jain float64, errMsg string) []byte {
+		res := Result{
+			Config: quick100M(Pairing{cca.Cubic, cca.Cubic}, aqm.KindFIFO, 2, seed, time.Second).Normalize(),
+			Jain:   jain,
+			Error:  errMsg,
+		}
+		data, _ := json.Marshal(res)
+		return data
+	}
+	frame := func(data []byte) []byte {
+		fr, _, err := encodeFrame(mustUnmarshalResult(data))
+		if err != nil {
+			f.Fatal(err)
+		}
+		return fr
+	}
+	v1a, v1b := mk(1, 0.9, ""), mk(2, 0.5, "")
+	header := []byte(journalHeaderV2 + "\n")
+	f.Add(append([]byte{}, header...))                                   // header only
+	f.Add([]byte(journalHeaderV2[:7]))                                   // truncated header
+	f.Add(append(append([]byte{}, header...), frame(v1a)...))            // one clean frame
+	f.Add(append(append([]byte{}, frame(v1a)...), frame(v1b)...))        // two frames, no header
+	f.Add(append(append([]byte{}, frame(v1a)...), v1b...))               // v2 then torn v1
+	f.Add(append(append(append([]byte{}, v1a...), '\n'), frame(v1b)...)) // v1 then v2
+	half := frame(v1a)
+	f.Add(half[:len(half)/2]) // truncated frame
+	fused := append(append([]byte{}, frame(v1a)...), frame(v1b)...)
+	fused[len(frame(v1a))-1] = 'X' // newline destroyed: records fuse
+	f.Add(fused)
+	flip := append([]byte{}, frame(v1b)...)
+	flip[len(flip)-4] ^= 0x20 // flipped bit in the payload
+	f.Add(append(append([]byte{}, frame(v1a)...), flip...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ck.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := OpenCheckpoint(path)
+		if err != nil {
+			t.Fatalf("OpenCheckpoint rejected a journal it must tolerate: %v", err)
+		}
+		recovered, err := json.Marshal(ck.Results())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ambiguous := journalOracle(data)
+		if st := ck.Stats(); st.Damaged() == 0 && ambiguous == 0 && ck.Len() != len(want) {
+			t.Fatalf("pristine reload kept %d entries, oracle says %d", ck.Len(), len(want))
+		}
+		for id := range want {
+			if _, ok := ck.Lookup(id); !ok {
+				t.Fatalf("entry %q lost in reload", id)
+			}
+		}
+		if err := ck.Compact(); err != nil {
+			t.Fatalf("compact of recovered journal: %v", err)
+		}
+		if err := ck.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenCheckpoint(path)
+		if err != nil {
+			t.Fatalf("reopen of compacted journal: %v", err)
+		}
+		defer re.Close()
+		if st := re.Stats(); st.Damaged() != 0 || st.V1 != 0 || st.Duplicates != 0 {
+			t.Fatalf("compacted journal is not clean v2: %+v", st)
+		}
+		reloaded, err := json.Marshal(re.Results())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(recovered, reloaded) {
+			t.Fatalf("recovery is not a fixed point:\nfirst load: %s\nafter compact+reload: %s", recovered, reloaded)
 		}
 	})
 }

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 // ResultSet is the serialized form of a sweep.
@@ -66,8 +68,9 @@ func LoadFile(path string) (*ResultSet, error) {
 	return ReadJSON(f)
 }
 
-// Checkpoint is an append-only JSONL journal of completed results, one
-// Result per line, that lets a multi-hour sweep survive a crash: the
+// Checkpoint is an append-only journal of completed results — one
+// CRC-framed record per line (journal format v2; bare-JSONL v1 journals
+// load transparently) — that lets a multi-hour sweep survive a crash: the
 // runner appends each result as it finishes, and a restarted sweep opens
 // the same file and skips every configuration whose science identity
 // (Config.Key — the grid cell plus duration, paper scale, and every other
@@ -81,6 +84,16 @@ type Checkpoint struct {
 	f    *os.File
 	err  error // sticky: set when the journal handle is unusable (failed Compact reopen)
 	done map[string]Result
+
+	// Load-time integrity accounting: what the resilient reader saw, and
+	// up to maxDamagedBytes of the raw damaged lines for fsck quarantine.
+	stats   JournalStats
+	damaged [][]byte
+
+	// torn records that the last append failed partway through a record;
+	// the next append first terminates the partial line so the two records
+	// cannot fuse.
+	torn bool
 
 	// Durability policy: Append fsyncs once syncEvery results accumulate
 	// unsynced or syncInterval has passed since the last sync, whichever
@@ -103,10 +116,15 @@ const (
 )
 
 // OpenCheckpoint opens (creating if needed) the journal at path and loads
-// every previously completed result. Unparseable lines — e.g. a torn final
-// write from a crash — are skipped, not fatal: losing one result to a
-// crash costs one re-run, never the sweep.
+// every previously completed result. Damage — a torn final write, flipped
+// bits, whole corrupt regions — is skipped and counted per record, never
+// fatal: every record whose integrity still proves out is recovered, on
+// both sides of the damage, and losing a record costs one re-run, never
+// the sweep. Stats reports what the load saw.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
+	if err := failpoint.Inject("checkpoint.open"); err != nil {
+		return nil, fmt.Errorf("experiment: open checkpoint %s: %w", path, err)
+	}
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("experiment: checkpoint mkdir %s: %w", dir, err)
@@ -118,23 +136,20 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	}
 	c := &Checkpoint{path: path, f: f, done: make(map[string]Result),
 		syncEvery: defaultSyncEvery, syncInterval: defaultSyncInterval, lastSync: time.Now()}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	damagedBytes := 0
+	err = readJournal(f, &c.stats, func(key string, res Result) {
+		if _, dup := c.done[key]; dup {
+			c.stats.Duplicates++
 		}
-		var res Result
-		if err := json.Unmarshal(line, &res); err != nil {
-			continue // torn or corrupt line: ignore, that config re-runs
+		c.done[key] = res
+	}, func(line []byte) {
+		if damagedBytes+len(line) > maxDamagedBytes {
+			return
 		}
-		if res.Errored() {
-			continue
-		}
-		c.done[res.Config.Key()] = res
-	}
-	if err := sc.Err(); err != nil {
+		damagedBytes += len(line)
+		c.damaged = append(c.damaged, append([]byte(nil), line...))
+	})
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("experiment: read checkpoint %s: %w", path, err)
 	}
@@ -144,17 +159,33 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	}
 	// Heal a torn final line (a crash mid-append leaves no trailing
 	// newline): terminate it now, or the next Append would fuse with the
-	// torn fragment and corrupt a fresh result too.
-	if st, err := f.Stat(); err == nil && st.Size() > 0 {
-		var last [1]byte
-		if _, err := f.ReadAt(last[:], st.Size()-1); err == nil && last[0] != '\n' {
-			if _, err := f.Write([]byte("\n")); err != nil {
+	// torn fragment and corrupt a fresh result too. A brand-new journal
+	// instead gets the v2 version header.
+	if st, err := f.Stat(); err == nil {
+		if st.Size() == 0 {
+			if _, err := f.Write([]byte(journalHeaderV2 + "\n")); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
+			}
+		} else {
+			var last [1]byte
+			if _, err := f.ReadAt(last[:], st.Size()-1); err == nil && last[0] != '\n' {
+				if _, err := f.Write([]byte("\n")); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
+				}
 			}
 		}
 	}
 	return c, nil
+}
+
+// Stats returns the integrity accounting from the load that opened this
+// journal (appends after open are not re-counted).
+func (c *Checkpoint) Stats() JournalStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Len returns the number of completed results loaded or appended so far.
@@ -173,27 +204,47 @@ func (c *Checkpoint) Lookup(key string) (Result, bool) {
 	return res, ok
 }
 
-// Append journals one completed result. Errored results are ignored (they
-// must re-run on resume). Each line is written and flushed atomically with
-// respect to other Append calls.
+// Append journals one completed result as a CRC-framed v2 record. Errored
+// results are ignored (they must re-run on resume). Each record is written
+// atomically with respect to other Append calls; a failed write is
+// retryable — the next append terminates any partial record first, so a
+// recovering disk never fuses two records.
 func (c *Checkpoint) Append(res Result) error {
 	if res.Errored() {
 		return nil
 	}
-	data, err := json.Marshal(res)
+	data, key, err := encodeFrame(res)
 	if err != nil {
-		return fmt.Errorf("experiment: checkpoint encode: %w", err)
+		return err
 	}
-	data = append(data, '\n')
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
 		return c.err
 	}
-	if _, err := c.f.Write(data); err != nil {
+	if c.torn {
+		if _, err := c.f.Write([]byte("\n")); err != nil {
+			return fmt.Errorf("experiment: checkpoint append: %w", err)
+		}
+		c.torn = false
+	}
+	if fp := failpoint.Eval("checkpoint.append.write"); fp != nil {
+		fp.Sleep()
+		if fp.ShortN >= 0 && fp.ShortN < len(data) {
+			c.f.Write(data[:fp.ShortN])
+			c.torn = true
+		}
+		if fp.Err != nil {
+			return fmt.Errorf("experiment: checkpoint append: %w", fp.Err)
+		}
+	}
+	if n, err := c.f.Write(data); err != nil {
+		if n > 0 && n < len(data) {
+			c.torn = true
+		}
 		return fmt.Errorf("experiment: checkpoint append: %w", err)
 	}
-	c.done[res.Config.Key()] = res
+	c.done[key] = res
 	c.unsynced++
 	if c.unsynced >= c.syncEvery || time.Since(c.lastSync) >= c.syncInterval {
 		if err := c.syncLocked(); err != nil {
@@ -240,6 +291,9 @@ func (c *Checkpoint) Sync() error {
 func (c *Checkpoint) syncLocked() error {
 	if c.f == nil {
 		return nil
+	}
+	if err := failpoint.Inject("checkpoint.fsync"); err != nil {
+		return err
 	}
 	if err := c.f.Sync(); err != nil {
 		return err
@@ -294,13 +348,16 @@ func (c *Checkpoint) Compact() error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	w := bufio.NewWriter(tmp)
+	if _, err := w.WriteString(journalHeaderV2 + "\n"); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: checkpoint compact write: %w", err)
+	}
 	for _, res := range c.resultsLocked() {
-		data, err := json.Marshal(res)
+		data, _, err := encodeFrame(res)
 		if err != nil {
 			tmp.Close()
-			return fmt.Errorf("experiment: checkpoint compact encode: %w", err)
+			return err
 		}
-		data = append(data, '\n')
 		if _, err := w.Write(data); err != nil {
 			tmp.Close()
 			return fmt.Errorf("experiment: checkpoint compact write: %w", err)
@@ -317,12 +374,19 @@ func (c *Checkpoint) Compact() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("experiment: checkpoint compact close: %w", err)
 	}
+	if err := failpoint.Inject("checkpoint.compact.rename"); err != nil {
+		return fmt.Errorf("experiment: checkpoint compact rename: %w", err)
+	}
 	if err := os.Rename(tmp.Name(), c.path); err != nil {
 		return fmt.Errorf("experiment: checkpoint compact rename: %w", err)
 	}
 	// Swap the open handle to the new file so later Appends land in the
 	// compacted journal, not the unlinked original.
 	f, err := os.OpenFile(c.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if ferr := failpoint.Inject("checkpoint.compact.reopen"); ferr != nil && err == nil {
+		f.Close()
+		f, err = nil, ferr
+	}
 	if err != nil {
 		// The rename already replaced the on-disk journal; the old handle
 		// points at the unlinked inode, so anything appended through it
@@ -335,8 +399,10 @@ func (c *Checkpoint) Compact() error {
 	}
 	c.f.Close()
 	c.f = f
-	// The compacted file was synced before the rename; nothing is pending.
+	// The compacted file was synced before the rename; nothing is pending
+	// and any torn partial record is gone with the old file.
 	c.unsynced = 0
+	c.torn = false
 	c.lastSync = time.Now()
 	return nil
 }

@@ -13,7 +13,8 @@ import (
 	"repro/internal/cca"
 )
 
-// journalLines returns the journal's raw non-empty lines.
+// journalLines returns the journal's raw non-empty record lines (the v2
+// version header doesn't count — it is metadata, not a record).
 func journalLines(t *testing.T, path string) []string {
 	t.Helper()
 	data, err := os.ReadFile(path)
@@ -22,7 +23,7 @@ func journalLines(t *testing.T, path string) []string {
 	}
 	var out []string
 	for _, l := range strings.Split(string(data), "\n") {
-		if l != "" {
+		if l != "" && !strings.HasPrefix(l, "#") {
 			out = append(out, l)
 		}
 	}

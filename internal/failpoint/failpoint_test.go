@@ -1,0 +1,217 @@
+package failpoint
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpecParsing(t *testing.T) {
+	defer DisableAll()
+	good := []string{
+		"a=err",
+		"a=err(disk full)",
+		"a=short:7",
+		"a=delay:5ms",
+		"a=exit",
+		"a=exit:7",
+		"a=err@hit=3",
+		"a=err@from=2,times=4",
+		"a=err@p=0.5,seed=42",
+		"a=err@arg=cubic-vs-reno",
+		"a=err;b=short:0;c=delay:1us",
+	}
+	for _, spec := range good {
+		if err := Enable(spec); err != nil {
+			t.Errorf("Enable(%q): %v", spec, err)
+		}
+		DisableAll()
+	}
+	bad := []string{
+		"a",            // no action
+		"=err",         // no name
+		"a=explode",    // unknown action
+		"a=short:-1",   // negative short
+		"a=delay:fast", // bad duration
+		"a=err@boom",   // trigger without =
+		"a=err@n=3",    // unknown trigger
+		"a=err@hit=x",  // bad int
+	}
+	for _, spec := range bad {
+		if err := Enable(spec); err == nil {
+			t.Errorf("Enable(%q) accepted a bad spec", spec)
+		}
+		DisableAll()
+	}
+}
+
+func TestInjectErrAndDisable(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("p1=err(no space left on device)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("p1"); err == nil || err.Error() != "no space left on device" {
+		t.Fatalf("Inject(p1) = %v, want injected message", err)
+	}
+	if err := Inject("other"); err != nil {
+		t.Fatalf("unarmed name fired: %v", err)
+	}
+	Disable("p1")
+	if err := Inject("p1"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestHitFromTimesTriggers(t *testing.T) {
+	defer DisableAll()
+
+	// hit=3: fires exactly on the third evaluation.
+	if err := Enable("h=err@hit=3"); err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 5; i++ {
+		pattern = append(pattern, Inject("h") != nil)
+	}
+	want := []bool{false, false, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("hit=3 pattern = %v, want %v", pattern, want)
+		}
+	}
+	DisableAll()
+
+	// from=3,times=2: fires on evaluations 3 and 4 only.
+	if err := Enable("f=err@from=3,times=2"); err != nil {
+		t.Fatal(err)
+	}
+	pattern = pattern[:0]
+	for i := 0; i < 6; i++ {
+		pattern = append(pattern, Inject("f") != nil)
+	}
+	want = []bool{false, false, true, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("from=3,times=2 pattern = %v, want %v", pattern, want)
+		}
+	}
+}
+
+func TestProbabilityIsDeterministic(t *testing.T) {
+	defer DisableAll()
+	run := func() []bool {
+		if err := Enable("p=err@p=0.5,seed=7"); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, Inject("p") != nil)
+		}
+		DisableAll()
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at evaluation %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times; coin looks broken", fired, len(a))
+	}
+}
+
+func TestArgSubstringMatch(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("w=err@arg=cubic-vs-reno_fifo"); err != nil {
+		t.Fatal(err)
+	}
+	if InjectCtx("w", "reno-vs-reno_fifo_2bdp_100Mbps_seed1") != nil {
+		t.Fatal("fired on non-matching arg")
+	}
+	if InjectCtx("w", "cubic-vs-reno_fifo_2bdp_100Mbps_seed1") == nil {
+		t.Fatal("did not fire on matching arg")
+	}
+	// Non-matching evaluations must not consume the hit counter.
+	DisableAll()
+	if err := Enable("w=err@arg=target,hit=1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if InjectCtx("w", "other") != nil {
+			t.Fatal("fired on non-matching arg")
+		}
+	}
+	if InjectCtx("w", "the-target-config") == nil {
+		t.Fatal("hit counter consumed by non-matching evaluations")
+	}
+}
+
+func TestShortWriteAndDelayActions(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("s=short:5"); err != nil {
+		t.Fatal(err)
+	}
+	f := Eval("s")
+	if f == nil || f.ShortN != 5 || f.Err == nil {
+		t.Fatalf("short:5 → %+v", f)
+	}
+	DisableAll()
+	if err := Enable("d=delay:10ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("d"); err != nil {
+		t.Fatalf("pure delay returned error %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("delay:10ms returned after %v", elapsed)
+	}
+}
+
+func TestReenableResetsCounters(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("r=err@times=1"); err != nil {
+		t.Fatal(err)
+	}
+	if Inject("r") == nil {
+		t.Fatal("first hit did not fire")
+	}
+	if Inject("r") != nil {
+		t.Fatal("times=1 fired twice")
+	}
+	if err := Enable("r=err@times=1"); err != nil {
+		t.Fatal(err)
+	}
+	if Inject("r") == nil {
+		t.Fatal("re-enable did not reset the firing budget")
+	}
+}
+
+// TestDisarmedZeroAlloc pins the contract the hot paths rely on: a
+// disarmed hook is one atomic load and zero allocations, and even an
+// armed process pays no allocation at points that are not firing.
+func TestDisarmedZeroAlloc(t *testing.T) {
+	DisableAll()
+	if got := testing.AllocsPerRun(1000, func() {
+		if Inject("checkpoint.fsync") != nil {
+			t.Fatal("disarmed point fired")
+		}
+	}); got != 0 {
+		t.Fatalf("disarmed Inject allocates %.1f/op, want 0", got)
+	}
+	if err := Enable("unrelated.point=err"); err != nil {
+		t.Fatal(err)
+	}
+	defer DisableAll()
+	if got := testing.AllocsPerRun(1000, func() {
+		if Inject("checkpoint.fsync") != nil {
+			t.Fatal("wrong point fired")
+		}
+	}); got != 0 {
+		t.Fatalf("armed-but-miss Inject allocates %.1f/op, want 0", got)
+	}
+}

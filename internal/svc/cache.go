@@ -13,10 +13,13 @@
 package svc
 
 import (
+	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/experiment"
+	"repro/internal/failpoint"
 )
 
 // Cache is the content-addressed result store: an in-memory index over the
@@ -34,19 +37,45 @@ type Cache struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// Journal degradation: when the disk fails (full, I/O errors), Put
+	// sheds the journal append into overflow instead of failing — science
+	// continues from memory, /healthz flips to degraded, and every later
+	// Put retries the drain so the journal heals as soon as the disk does.
+	degraded    bool
+	overflow    map[string]experiment.Result
+	journalErrs uint64
+	lastErr     string
 }
 
 // OpenCache opens the cache over the journal at path, loading every live
 // journaled result into the index. An empty path runs memory-only (results
 // do not survive a restart).
 func OpenCache(path string) (*Cache, error) {
-	c := &Cache{mem: make(map[string]experiment.Result)}
+	c := &Cache{mem: make(map[string]experiment.Result), overflow: make(map[string]experiment.Result)}
 	if path == "" {
 		return c, nil
 	}
 	ck, err := experiment.OpenCheckpoint(path)
 	if err != nil {
 		return nil, err
+	}
+	// Boot-time integrity scan: if the load saw damage — corrupt regions,
+	// key-mismatched records, oversized garbage — repair now (quarantine
+	// the damaged raw lines beside the journal, compact to clean v2) so
+	// the daemon never appends after known damage.
+	if st := ck.Stats(); st.Damaged() > 0 {
+		qfile, rerr := ck.Repair()
+		if rerr != nil {
+			ck.Close()
+			return nil, fmt.Errorf("svc: journal %s damaged (%d corrupt, %d key-mismatched, %d oversized) and repair failed: %w",
+				path, st.Corrupt, st.KeyMismatch, st.Oversized, rerr)
+		}
+		if qfile == "" {
+			qfile = "(not retained)"
+		}
+		log.Printf("svc: journal %s: repaired on boot: dropped %d corrupt, %d key-mismatched, %d oversized region(s); %d live results kept (damage quarantined to %s)",
+			path, st.Corrupt, st.KeyMismatch, st.Oversized, ck.Len(), qfile)
 	}
 	c.ck = ck
 	for _, res := range ck.Results() {
@@ -83,18 +112,73 @@ func (c *Cache) peek(key string) (experiment.Result, bool) {
 }
 
 // Put stores a completed result in the index and appends it to the
-// journal. Errored results are dropped.
+// journal. Errored results are dropped. A journal failure never fails the
+// Put: the result is shed into the in-memory overflow, the cache flips to
+// degraded, and the overflow drains back into the journal on a later Put
+// once the disk recovers. The returned error is always nil today; the
+// signature stays for strict callers like sweepd -merge, which detect an
+// unhealed journal via Compact.
 func (c *Cache) Put(res experiment.Result) error {
 	if res.Errored() {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.mem[res.Config.Key()] = res
-	if c.ck != nil {
-		return c.ck.Append(res)
+	key := res.Config.Key()
+	c.mem[key] = res
+	if c.ck == nil {
+		return nil
 	}
+	if c.degraded {
+		c.drainLocked()
+	}
+	if !c.degraded {
+		err := failpoint.Inject("cache.put")
+		if err == nil {
+			err = c.ck.Append(res)
+		}
+		if err == nil {
+			return nil
+		}
+		c.journalFailLocked(err)
+	}
+	c.overflow[key] = res
 	return nil
+}
+
+func (c *Cache) journalFailLocked(err error) {
+	c.journalErrs++
+	c.lastErr = err.Error()
+	if !c.degraded {
+		c.degraded = true
+		log.Printf("svc: journal degraded, shedding writes to memory overflow: %v", err)
+	}
+}
+
+// drainLocked retries the overflowed appends; the cache leaves degraded
+// mode only once every shed result is safely journaled.
+func (c *Cache) drainLocked() {
+	for key, res := range c.overflow {
+		if err := c.ck.Append(res); err != nil {
+			c.journalErrs++
+			c.lastErr = err.Error()
+			return
+		}
+		delete(c.overflow, key)
+	}
+	if len(c.overflow) == 0 && c.degraded {
+		c.degraded = false
+		log.Printf("svc: journal recovered, overflow drained")
+	}
+}
+
+// Degraded reports whether the journal is currently shedding writes, with
+// the overflow depth, total journal errors, and last error for /healthz
+// and /metrics.
+func (c *Cache) Degraded() (degraded bool, overflow int, errs uint64, lastErr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded, len(c.overflow), c.journalErrs, c.lastErr
 }
 
 // Len returns the number of cached results.
@@ -108,24 +192,40 @@ func (c *Cache) Len() int {
 func (c *Cache) Hits() uint64   { return c.hits.Load() }
 func (c *Cache) Misses() uint64 { return c.misses.Load() }
 
-// Compact rewrites the journal to one line per live config ID (see
+// Compact rewrites the journal to one record per live config ID (see
 // experiment.Checkpoint.Compact). Called after each successfully completed
-// job and on shutdown; a no-op when memory-only.
+// job and on shutdown; a no-op when memory-only. While the journal is
+// degraded the overflow is drained first; if it cannot be, Compact fails
+// rather than writing a snapshot that silently misses the shed results.
 func (c *Cache) Compact() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.ck == nil {
 		return nil
 	}
+	if c.degraded {
+		c.drainLocked()
+	}
+	if c.degraded {
+		return fmt.Errorf("svc: journal degraded (%d results in overflow, last error: %s)", len(c.overflow), c.lastErr)
+	}
 	return c.ck.Compact()
 }
 
-// Close flushes and closes the journal.
+// Close flushes and closes the journal, draining any overflow first so a
+// disk that recovered after degradation loses nothing on shutdown.
 func (c *Cache) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.ck == nil {
 		return nil
 	}
-	return c.ck.Close()
+	if c.degraded {
+		c.drainLocked()
+	}
+	err := c.ck.Close()
+	if c.degraded {
+		return fmt.Errorf("svc: journal still degraded at close, %d results not journaled (last error: %s)", len(c.overflow), c.lastErr)
+	}
+	return err
 }

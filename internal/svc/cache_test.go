@@ -1,0 +1,159 @@
+package svc
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/failpoint"
+)
+
+// degradedResult fabricates a distinct cacheable result per seed.
+func degradedResult(seed uint64) experiment.Result {
+	cfg := tinySpec()
+	cfgs, _ := cfg.Expand()
+	c := cfgs[0]
+	c.Seed = seed
+	return fakeRun(c)
+}
+
+// TestCacheJournalDegradationAndRecovery: sustained journal failure (every
+// write fails, drain included) must never fail a Put — results shed to the
+// in-memory overflow and stay servable — and once the disk recovers the
+// overflow drains back, the cache leaves degraded mode, and a reload from
+// the journal sees every result.
+func TestCacheJournalDegradationAndRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three consecutive write failures: the first Put's append plus the two
+	// drain attempts the following Puts make. checkpoint.append.write sits
+	// inside Checkpoint.Append, so the drain path fails exactly like the
+	// direct one — sustained disk-full, not a one-shot blip.
+	if err := failpoint.Enable("checkpoint.append.write=err(injected: no space left on device)@times=3"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+
+	results := []experiment.Result{degradedResult(1), degradedResult(2), degradedResult(3)}
+	for i, res := range results {
+		if err := c.Put(res); err != nil {
+			t.Fatalf("Put %d failed during degradation: %v", i, err)
+		}
+	}
+	degraded, overflow, errs, lastErr := c.Degraded()
+	if !degraded || overflow != 3 || errs != 3 {
+		t.Fatalf("after 3 failed puts: degraded=%v overflow=%d errs=%d, want true/3/3", degraded, overflow, errs)
+	}
+	if !strings.Contains(lastErr, "no space left") {
+		t.Fatalf("lastErr = %q, want the injected disk error", lastErr)
+	}
+	// Science is unaffected: every shed result still serves from memory.
+	for _, res := range results {
+		if _, ok := c.Get(res.Config.Key()); !ok {
+			t.Fatalf("result %s not servable while degraded", res.Config.ID())
+		}
+	}
+
+	// Disk recovers (failpoint exhausted): the next Put drains the overflow
+	// and journals itself.
+	if err := c.Put(degradedResult(4)); err != nil {
+		t.Fatal(err)
+	}
+	degraded, overflow, _, _ = c.Degraded()
+	if degraded || overflow != 0 {
+		t.Fatalf("after recovery: degraded=%v overflow=%d, want false/0", degraded, overflow)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh daemon warms from the journal with nothing missing.
+	c2, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 4 {
+		t.Fatalf("reloaded cache has %d results, want 4", c2.Len())
+	}
+}
+
+// TestCacheCompactFailsWhileDegraded: Compact must refuse to write a
+// snapshot that silently misses shed results — it reports the overflow
+// instead, which is how sweepd -merge detects an unhealed journal.
+func TestCacheCompactFailsWhileDegraded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("checkpoint.append.write=err(injected EIO)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	if err := c.Put(degradedResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Compact(); err == nil || !strings.Contains(err.Error(), "degraded") {
+		t.Fatalf("Compact while degraded = %v, want a degraded-journal error", err)
+	}
+	failpoint.DisableAll()
+	if err := c.Compact(); err != nil {
+		t.Fatalf("Compact after recovery: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealthzReportsJournalDegradation: /healthz flips to 503 with the
+// overflow depth while the journal is shedding writes and recovers to 200
+// once it drains.
+func TestHealthzReportsJournalDegradation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	s, err := New(Options{Journal: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	check := func(wantCode int, wantBody string) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantCode || !strings.Contains(string(body), wantBody) {
+			t.Fatalf("/healthz = %d %q, want %d containing %q", resp.StatusCode, body, wantCode, wantBody)
+		}
+	}
+	check(http.StatusOK, "ok")
+
+	if err := failpoint.Enable("checkpoint.append.write=err(injected: disk full)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	if err := s.cache.Put(degradedResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	check(http.StatusServiceUnavailable, "1 results in memory overflow")
+
+	failpoint.DisableAll()
+	if err := s.cache.Put(degradedResult(2)); err != nil { // drains the overflow
+		t.Fatal(err)
+	}
+	check(http.StatusOK, "ok")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +28,16 @@ type ClusterOptions struct {
 	// amortize RPCs; smaller ones bound how much work a worker death can
 	// strand until re-queue. Default 16.
 	LeaseBatch int
+	// RetryBudget is how many lease failures (expiry or worker death —
+	// never a graceful release) a single configuration may cause before it
+	// is quarantined as a structured errored Result instead of re-leased.
+	// A poison config that deterministically kills its worker would
+	// otherwise crash-loop the cluster forever. Default 3.
+	RetryBudget int
+	// RequeueQuarantined clears a configuration's quarantine record when a
+	// sweep requests it again, granting a fresh retry budget — the
+	// operator's override after fixing whatever killed the workers.
+	RequeueQuarantined bool
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -39,24 +50,29 @@ func (o ClusterOptions) withDefaults() ClusterOptions {
 	if o.LeaseBatch <= 0 {
 		o.LeaseBatch = 16
 	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 3
+	}
 	return o
 }
 
 // clusterCounters are the coordinator's /metrics counters. All mutation
 // happens under Coordinator.mu.
 type clusterCounters struct {
-	workersJoined    uint64 // registrations (including re-registrations)
-	workersDead      uint64 // workers reaped for missing heartbeats
-	heartbeats       uint64
-	leasesGranted    uint64
-	leasesExpired    uint64 // leases taken back on deadline
-	leasesReleased   uint64 // leases handed back by a draining worker
-	leasesStolen     uint64 // steal events (tail of a straggler's lease)
-	configsLeased    uint64 // configurations granted across all leases
-	configsRequeued  uint64 // configurations moved leased→pending (expiry, death, release)
-	configsStolen    uint64 // configurations moved between live leases
-	results          uint64 // unique accepted uploads
-	duplicateResults uint64 // idempotent re-uploads (retries, stolen double-runs)
+	workersJoined      uint64 // registrations (including re-registrations)
+	workersDead        uint64 // workers reaped for missing heartbeats
+	heartbeats         uint64
+	leasesGranted      uint64
+	leasesExpired      uint64 // leases taken back on deadline
+	leasesReleased     uint64 // leases handed back by a draining worker
+	leasesStolen       uint64 // steal events (tail of a straggler's lease)
+	configsLeased      uint64 // configurations granted across all leases
+	configsRequeued    uint64 // configurations moved leased→pending (expiry, death, release)
+	configsStolen      uint64 // configurations moved between live leases
+	results            uint64 // unique accepted uploads
+	duplicateResults   uint64 // idempotent re-uploads (retries, stolen double-runs)
+	configsQuarantined uint64 // configurations that exhausted their retry budget
+	quarantineServed   uint64 // enqueues answered straight from the quarantine record
 }
 
 // Coordinator is the cluster brain sweepd runs with -coordinator: it owns
@@ -82,6 +98,12 @@ type Coordinator struct {
 	closed  bool
 	c       clusterCounters
 
+	// quarantine holds the poison configs: keys that exhausted their retry
+	// budget, with the errored Result every current and future waiter gets.
+	// Quarantined results are never cached — a -requeue-quarantined restart
+	// (or RequeueQuarantined here) must be able to re-run them.
+	quarantine map[string]*quarantineRecord
+
 	// now is injectable for deterministic expiry tests.
 	now func() time.Time
 
@@ -93,14 +115,15 @@ type Coordinator struct {
 // begins reaping expired leases and dead workers in the background.
 func NewCoordinator(opts ClusterOptions, cache *Cache) *Coordinator {
 	c := &Coordinator{
-		opts:     opts.withDefaults(),
-		cache:    cache,
-		workers:  make(map[string]*clusterWorker),
-		tasks:    make(map[string]*clusterTask),
-		leases:   make(map[string]*lease),
-		now:      time.Now,
-		reapStop: make(chan struct{}),
-		reapDone: make(chan struct{}),
+		opts:       opts.withDefaults(),
+		cache:      cache,
+		workers:    make(map[string]*clusterWorker),
+		tasks:      make(map[string]*clusterTask),
+		leases:     make(map[string]*lease),
+		quarantine: make(map[string]*quarantineRecord),
+		now:        time.Now,
+		reapStop:   make(chan struct{}),
+		reapDone:   make(chan struct{}),
 	}
 	go c.reapLoop()
 	return c
@@ -125,15 +148,17 @@ func (c *Coordinator) reapLoop() {
 
 // Reap takes back every expired lease and every lease held by a worker
 // whose heartbeats stopped, moving their unfinished configurations back to
-// pending. It is called from the background loop and directly by tests.
+// pending — unless a configuration has now burned through its retry
+// budget, in which case it is quarantined and its waiters get the errored
+// Result. It is called from the background loop and directly by tests.
 func (c *Coordinator) Reap() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.now()
+	var quarantined []*clusterTask
 	for id, w := range c.workers {
 		if now.Sub(w.lastSeen) > c.opts.LeaseTTL {
 			for _, l := range w.leases {
-				c.requeueLeaseLocked(l)
+				quarantined = append(quarantined, c.requeueLeaseLocked(l, "worker died")...)
 			}
 			delete(c.workers, id)
 			c.ring.remove(id)
@@ -142,20 +167,43 @@ func (c *Coordinator) Reap() {
 	}
 	for _, l := range c.leases {
 		if now.After(l.deadline) {
-			c.requeueLeaseLocked(l)
+			quarantined = append(quarantined, c.requeueLeaseLocked(l, "lease expired")...)
 			c.c.leasesExpired++
 		}
 	}
+	c.mu.Unlock()
+	c.deliverQuarantined(quarantined)
 }
+
+// requeueCauseRelease marks the graceful path: a draining worker handing
+// work back is not a failure and never consumes retry budget.
+const requeueCauseRelease = ""
 
 // requeueLeaseLocked returns a lease's unfinished tasks to the pending
 // queue and drops the lease. Tasks whose result already arrived (taskDone)
-// are gone from remaining and unaffected.
-func (c *Coordinator) requeueLeaseLocked(l *lease) {
+// are gone from remaining and unaffected. A non-empty cause records a
+// failure against each task; tasks that exhaust the retry budget are
+// quarantined instead of re-queued and returned for delivery after the
+// lock is dropped (their waiters must be answered without holding mu).
+func (c *Coordinator) requeueLeaseLocked(l *lease, cause string) (quarantined []*clusterTask) {
+	workerName := l.worker
+	if w, ok := c.workers[l.worker]; ok && w.name != "" {
+		workerName = w.name
+	}
 	for _, t := range l.remaining {
 		if t.state == taskLeased && t.lease == l {
 			t.state = taskPending
 			t.lease = nil
+			if cause != requeueCauseRelease {
+				t.failures++
+				t.failLog = append(t.failLog, fmt.Sprintf("%s (worker %s, lease %s, failure %d/%d)",
+					cause, workerName, l.id, t.failures, c.opts.RetryBudget))
+				if t.failures >= c.opts.RetryBudget {
+					c.quarantineTaskLocked(t)
+					quarantined = append(quarantined, t)
+					continue
+				}
+			}
 			c.pending = append(c.pending, t)
 			c.c.configsRequeued++
 		}
@@ -164,6 +212,56 @@ func (c *Coordinator) requeueLeaseLocked(l *lease) {
 	delete(c.leases, l.id)
 	if w, ok := c.workers[l.worker]; ok {
 		delete(w.leases, l.id)
+	}
+	return quarantined
+}
+
+// quarantinedErrPrefix is the stable marker on every quarantine Result's
+// error string; Job.Status uses it to report quarantined config IDs.
+const quarantinedErrPrefix = "sweepd: quarantined"
+
+// quarantineRecord is one poison config: the failure history and the
+// structured errored Result served to every waiter, current and future.
+type quarantineRecord struct {
+	cfg      experiment.Config
+	failures int
+	failLog  []string
+	res      experiment.Result
+}
+
+// quarantineTaskLocked retires a task that exhausted its retry budget: it
+// leaves the task table for good, its waiters are answered (by the caller,
+// after unlock) with an errored Result carrying the full failure history —
+// the coordinator-side flight record of which workers died holding it —
+// and future Enqueues of the same key are served from the record.
+func (c *Coordinator) quarantineTaskLocked(t *clusterTask) {
+	t.state = taskDone
+	delete(c.tasks, t.key)
+	rec := &quarantineRecord{
+		cfg:      t.cfg,
+		failures: t.failures,
+		failLog:  t.failLog,
+		res: experiment.Result{
+			Config: t.cfg.Normalize(),
+			Error: fmt.Sprintf("%s: %d lease failures exhausted the retry budget: %s",
+				quarantinedErrPrefix, t.failures, strings.Join(t.failLog, "; ")),
+		},
+	}
+	c.quarantine[t.key] = rec
+	c.c.configsQuarantined++
+	log.Printf("sweepd: quarantined config %s (key %s): %s", t.cfg.ID(), t.key, strings.Join(t.failLog, "; "))
+}
+
+// deliverQuarantined answers the waiters of freshly quarantined tasks.
+// Must be called without holding mu (deliver runs job callbacks).
+func (c *Coordinator) deliverQuarantined(tasks []*clusterTask) {
+	for _, t := range tasks {
+		res := c.quarantine[t.key].res
+		ws := t.waiters
+		t.waiters = nil
+		for _, w := range ws {
+			w.job.deliver(w.idx, res, false)
+		}
 	}
 }
 
@@ -178,6 +276,19 @@ func (c *Coordinator) Enqueue(key string, cfg experiment.Config, j *Job, idx int
 		t.waiters = append(t.waiters, waiter{j, idx})
 		c.mu.Unlock()
 		return
+	}
+	if rec, ok := c.quarantine[key]; ok {
+		if c.opts.RequeueQuarantined {
+			// Operator override: forget the record and fall through to open
+			// a fresh task with a full retry budget.
+			delete(c.quarantine, key)
+		} else {
+			res := rec.res
+			c.c.quarantineServed++
+			c.mu.Unlock()
+			j.deliver(idx, res, false)
+			return
+		}
 	}
 	if res, ok := c.cache.peek(key); ok {
 		c.mu.Unlock()
@@ -409,13 +520,13 @@ func (c *Coordinator) release(workerID, leaseID string, bye bool) (requeued int)
 	before := c.c.configsRequeued
 	if leaseID != "" {
 		if l, ok := w.leases[leaseID]; ok {
-			c.requeueLeaseLocked(l)
+			c.requeueLeaseLocked(l, requeueCauseRelease)
 			c.c.leasesReleased++
 		}
 	}
 	if bye {
 		for _, l := range w.leases {
-			c.requeueLeaseLocked(l)
+			c.requeueLeaseLocked(l, requeueCauseRelease)
 			c.c.leasesReleased++
 		}
 		delete(c.workers, workerID)
@@ -451,14 +562,15 @@ func (c *Coordinator) Close() {
 
 // clusterSnapshot gathers the coordinator gauges and counters for /metrics.
 type clusterSnapshot struct {
-	workers, leasesActive, pendingConfigs, leasedConfigs int
-	c                                                    clusterCounters
+	workers, leasesActive, pendingConfigs, leasedConfigs, quarantined int
+	c                                                                 clusterCounters
 }
 
 func (c *Coordinator) snapshot() clusterSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := clusterSnapshot{workers: len(c.workers), leasesActive: len(c.leases), c: c.c}
+	s := clusterSnapshot{workers: len(c.workers), leasesActive: len(c.leases),
+		quarantined: len(c.quarantine), c: c.c}
 	for _, t := range c.pending {
 		if t.state == taskPending {
 			s.pendingConfigs++

@@ -3,11 +3,13 @@ package svc
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -421,4 +423,198 @@ func TestClusterMetricsGolden(t *testing.T) {
 	}
 	got := heapInuse.ReplaceAll(body, []byte("sweepd_heap_inuse_bytes STRIPPED"))
 	checkGolden(t, "cluster_metrics.golden.txt", got)
+}
+
+// TestClusterPoisonConfigQuarantine walks one configuration through the
+// full quarantine lifecycle: graceful releases cost nothing, three lease
+// failures (worker death) exhaust the default retry budget, the config is
+// quarantined as a structured errored Result carrying the failure history,
+// and the rest of the grid completes normally — byte-identical science for
+// every non-quarantined slot.
+func TestClusterPoisonConfigQuarantine(t *testing.T) {
+	s, client, _ := newClusterServer(t,
+		ClusterOptions{LeaseTTL: time.Minute, LeaseBatch: 8}, Options{})
+	coord := s.cluster
+
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick the poison: lease the whole grid once, upload everything but the
+	// first config, and hand the lease back gracefully.
+	reg := coord.register("picker")
+	lr, ok := coord.acquire(reg.WorkerID, 8)
+	if !ok || len(lr.Configs) != 2 {
+		t.Fatalf("leased %d configs (ok=%v), want 2", len(lr.Configs), ok)
+	}
+	poison := lr.Configs[0]
+	poisonID := poison.Normalize().ID()
+	healthy := fakeRun(lr.Configs[1])
+	if dup := coord.upload(reg.WorkerID, healthy); dup {
+		t.Fatal("healthy upload flagged duplicate")
+	}
+	coord.release(reg.WorkerID, lr.LeaseID, true)
+
+	// Graceful releases never consume retry budget: acquire and release the
+	// poison config three more times than the budget allows.
+	for i := 0; i < 4; i++ {
+		reg := coord.register("polite")
+		lr, ok := coord.acquire(reg.WorkerID, 8)
+		if !ok || len(lr.Configs) != 1 {
+			t.Fatalf("release round %d: leased %d configs, want the 1 poison", i, len(lr.Configs))
+		}
+		coord.release(reg.WorkerID, lr.LeaseID, true)
+	}
+	if c := coord.counters(); c.configsQuarantined != 0 {
+		t.Fatalf("graceful releases quarantined %d configs, want 0", c.configsQuarantined)
+	}
+
+	// Three rounds of a worker taking the poison lease and dying: each
+	// round registers at the current (virtual) time, leases, then the clock
+	// jumps past the TTL and the reaper declares the worker dead.
+	base := time.Now()
+	for round := 0; round < 3; round++ {
+		now := base.Add(time.Duration(round) * 10 * time.Minute)
+		coord.setNow(func() time.Time { return now })
+		reg := coord.register("crashy")
+		lr, ok := coord.acquire(reg.WorkerID, 8)
+		if !ok || len(lr.Configs) != 1 || lr.Configs[0].Key() != poison.Key() {
+			t.Fatalf("death round %d: lease = %+v (ok=%v), want the poison config", round, lr, ok)
+		}
+		later := now.Add(2 * time.Minute)
+		coord.setNow(func() time.Time { return later })
+		coord.Reap()
+	}
+	coord.setNow(time.Now)
+
+	c := coord.counters()
+	if c.configsQuarantined != 1 {
+		t.Fatalf("configsQuarantined = %d, want 1", c.configsQuarantined)
+	}
+	if c.workersDead != 3 {
+		t.Fatalf("workersDead = %d, want 3", c.workersDead)
+	}
+
+	// The job completed without any worker ever finishing the poison: the
+	// quarantine Result filled its slot.
+	final := waitDone(t, client, st.ID)
+	if final.Errored != 1 {
+		t.Fatalf("Errored = %d, want 1", final.Errored)
+	}
+	if len(final.Quarantined) != 1 || final.Quarantined[0] != poisonID {
+		t.Fatalf("Quarantined = %v, want [%s]", final.Quarantined, poisonID)
+	}
+	msg := final.Errors[poisonID]
+	if !strings.HasPrefix(msg, quarantinedErrPrefix) {
+		t.Fatalf("quarantine error %q lacks prefix %q", msg, quarantinedErrPrefix)
+	}
+	if !strings.Contains(msg, "worker died") || !strings.Contains(msg, "3/3") {
+		t.Fatalf("quarantine error %q lacks the failure history", msg)
+	}
+
+	// Quarantined results never enter the content-addressed cache.
+	if _, ok := s.cache.Get(poison.Key()); ok {
+		t.Fatal("quarantined result found in the cache")
+	}
+
+	// The healthy slot is real science, untouched by the chaos.
+	body, err := client.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set experiment.ResultSet
+	if err := json.Unmarshal(body, &set); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, res := range set.Results {
+		if res.Config.Key() != healthy.Config.Key() {
+			continue
+		}
+		found = true
+		res.Wall, healthy.Wall = 0, 0
+		got, _ := json.Marshal(res)
+		want, _ := json.Marshal(healthy)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("healthy result altered by the chaos:\ngot  %s\nwant %s", got, want)
+		}
+	}
+	if !found {
+		t.Fatalf("healthy result missing from the final set:\n%s", body)
+	}
+}
+
+// TestClusterQuarantineServedAndRequeue: a later request for a quarantined
+// key is answered straight from the quarantine record — no lease, no worker
+// — unless RequeueQuarantined is set, which clears the record and grants a
+// fresh retry budget.
+func TestClusterQuarantineServedAndRequeue(t *testing.T) {
+	s, client, _ := newClusterServer(t,
+		ClusterOptions{LeaseTTL: time.Minute, LeaseBatch: 8, RetryBudget: 1}, Options{})
+	coord := s.cluster
+
+	st, err := client.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the whole grid once: budget 1 quarantines both configs.
+	base := time.Now()
+	reg := coord.register("crashy")
+	lr, _ := coord.acquire(reg.WorkerID, 8)
+	if len(lr.Configs) != 2 {
+		t.Fatalf("leased %d configs, want 2", len(lr.Configs))
+	}
+	coord.setNow(func() time.Time { return base.Add(2 * time.Minute) })
+	coord.Reap()
+	coord.setNow(time.Now)
+	final := waitDone(t, client, st.ID)
+	if final.Errored != 2 || len(final.Quarantined) != 2 {
+		t.Fatalf("errored/quarantined = %d/%d, want 2/2", final.Errored, len(final.Quarantined))
+	}
+
+	// A fresh job asking for a quarantined key is served from the record.
+	cfg := lr.Configs[0]
+	j2 := newJob("served", experiment.GridSpec{}, []experiment.Config{cfg})
+	coord.Enqueue(cfg.Key(), cfg, j2, 0)
+	select {
+	case <-j2.Finished():
+	case <-time.After(5 * time.Second):
+		t.Fatal("quarantine-served job did not finish")
+	}
+	if c := coord.counters(); c.quarantineServed != 1 {
+		t.Fatalf("quarantineServed = %d, want 1", c.quarantineServed)
+	}
+	if st2 := j2.Status(); len(st2.Quarantined) != 1 {
+		t.Fatalf("served job Quarantined = %v, want the config", st2.Quarantined)
+	}
+
+	// With the override armed, the same request re-opens a real task.
+	coord.mu.Lock()
+	coord.opts.RequeueQuarantined = true
+	coord.mu.Unlock()
+	j3 := newJob("requeued", experiment.GridSpec{}, []experiment.Config{cfg})
+	coord.Enqueue(cfg.Key(), cfg, j3, 0)
+	coord.mu.Lock()
+	_, reopened := coord.tasks[cfg.Key()]
+	_, stillQuarantined := coord.quarantine[cfg.Key()]
+	coord.mu.Unlock()
+	if !reopened || stillQuarantined {
+		t.Fatalf("requeue override: task reopened=%v quarantine cleared=%v, want true/true", reopened, !stillQuarantined)
+	}
+	// A worker finishes it this time: full rehabilitation.
+	reg2 := coord.register("healthy")
+	lr2, _ := coord.acquire(reg2.WorkerID, 8)
+	if len(lr2.Configs) != 1 {
+		t.Fatalf("rehab lease has %d configs, want 1", len(lr2.Configs))
+	}
+	coord.upload(reg2.WorkerID, fakeRun(lr2.Configs[0]))
+	select {
+	case <-j3.Finished():
+	case <-time.After(5 * time.Second):
+		t.Fatal("rehabilitated job did not finish")
+	}
+	if st3 := j3.Status(); st3.Errored != 0 {
+		t.Fatalf("rehabilitated job errored: %+v", st3)
+	}
 }

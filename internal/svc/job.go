@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/experiment"
@@ -199,6 +200,10 @@ type Status struct {
 	Errored   int `json:"errored"`
 	// Errors maps config ID to failure message for errored configurations.
 	Errors map[string]string `json:"errors,omitempty"`
+	// Quarantined lists the config IDs (grid order) whose errored result came
+	// from the coordinator's poison-config quarantine: the config exhausted
+	// its lease retry budget by repeatedly killing or losing its worker.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // Status snapshots the job.
@@ -220,6 +225,9 @@ func (j *Job) Status() Status {
 		for i, ok := range j.filled {
 			if ok && j.results[i].Errored() {
 				st.Errors[j.ids[i]] = j.results[i].Error
+				if strings.HasPrefix(j.results[i].Error, quarantinedErrPrefix) {
+					st.Quarantined = append(st.Quarantined, j.ids[i])
+				}
 			}
 		}
 	}

@@ -34,6 +34,12 @@ type clusterTask struct {
 	state   taskState
 	lease   *lease // the lease currently holding the task (leased only)
 	waiters []waiter
+
+	// Retry accounting for poison-config quarantine: failures counts the
+	// leases this task lost to expiry or worker death (graceful releases are
+	// free), failLog keeps one line per loss for the quarantine Result.
+	failures int
+	failLog  []string
 }
 
 // lease is one worker's claim on a batch of tasks: a deadline after which

@@ -51,6 +51,10 @@ type metricsSnapshot struct {
 	sims, simEvents                                  uint64
 	simWall                                          time.Duration
 	heapInuse                                        uint64
+
+	journalDegraded bool
+	journalOverflow int
+	journalErrs     uint64
 }
 
 func (s *Server) snapshot() metricsSnapshot {
@@ -79,6 +83,7 @@ func (s *Server) snapshot() metricsSnapshot {
 		m.simEvents = s.pool.SimEvents()
 		m.simWall = time.Duration(s.pool.SimWallNS())
 	}
+	m.journalDegraded, m.journalOverflow, m.journalErrs, _ = s.cache.Degraded()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	m.heapInuse = ms.HeapInuse
@@ -110,6 +115,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Configuration lookups that required scheduling a simulation.", float64(m.cacheMisses))
 	emit("sweepd_cache_entries", "gauge",
 		"Distinct configuration results held in the cache.", float64(m.cacheEntries))
+	degraded := 0.0
+	if m.journalDegraded {
+		degraded = 1
+	}
+	emit("sweepd_journal_degraded", "gauge",
+		"1 while the journal is unwritable and results are shedding to memory overflow.", degraded)
+	emit("sweepd_journal_overflow_results", "gauge",
+		"Results held only in the in-memory overflow, awaiting a healed journal.", float64(m.journalOverflow))
+	emit("sweepd_journal_errors_total", "counter",
+		"Journal append failures (disk full, I/O errors) absorbed by the overflow.", float64(m.journalErrs))
 	if s.pool != nil {
 		emit("sweepd_configs_coalesced_total", "counter",
 			"Configuration requests that joined an in-flight simulation.", float64(m.configsCoalesced))
@@ -183,6 +198,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"Unique results accepted from workers.", float64(cs.c.results))
 		emit("sweepd_cluster_duplicate_results_total", "counter",
 			"Idempotent re-uploads: RPC retries and stolen double-executions.", float64(cs.c.duplicateResults))
+		emit("sweepd_cluster_quarantined", "gauge",
+			"Configurations currently quarantined after exhausting their lease retry budget.", float64(cs.quarantined))
+		emit("sweepd_cluster_configs_quarantined_total", "counter",
+			"Configurations quarantined as poison after exhausting their lease retry budget.", float64(cs.c.configsQuarantined))
+		emit("sweepd_cluster_quarantine_served_total", "counter",
+			"Enqueues answered directly from a quarantine record.", float64(cs.c.quarantineServed))
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 // retryPolicy is the shared backoff schedule for idempotent RPCs: the
@@ -56,6 +58,63 @@ func jitter(d time.Duration) time.Duration {
 	return d/2 + time.Duration(jitterRand.Int63n(int64(d/2)+1))
 }
 
+// worstBackoff returns the policy's maximum total sleep across a full
+// retry storm: the sum of the capped exponential delays between attempts
+// (jitter only ever shrinks a delay, so this is a true upper bound).
+func (rp retryPolicy) worstBackoff() time.Duration {
+	attempts := rp.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var total time.Duration
+	delay := rp.Base
+	for i := 1; i < attempts; i++ {
+		d := delay
+		if rp.Max > 0 && d > rp.Max {
+			d = rp.Max
+		}
+		total += d
+		delay *= 2
+	}
+	return total
+}
+
+// capTotal shrinks the policy until its worst-case total backoff fits the
+// budget — first by halving the per-delay cap, then by dropping attempts.
+// Workers cap their policy to half the coordinator's lease TTL at
+// registration, so a retrying upload can never outlive its own lease and
+// hand the config to a second worker while still running.
+func (rp retryPolicy) capTotal(budget time.Duration) retryPolicy {
+	if budget <= 0 {
+		return rp
+	}
+	if rp.Max <= 0 || rp.Max > budget {
+		rp.Max = budget
+	}
+	for rp.worstBackoff() > budget {
+		switch {
+		case rp.Max > rp.Base && rp.Max > time.Millisecond:
+			rp.Max /= 2
+		case rp.Attempts > 1:
+			rp.Attempts--
+		default:
+			return rp
+		}
+	}
+	return rp
+}
+
+// retrySleep pauses between attempts; tests swap it to record the
+// requested delays and make backoff verification deterministic.
+var retrySleep = func(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
 // retryableStatus reports whether an HTTP status is worth retrying: server
 // errors and throttling are transient, client errors are not (a 404 from
 // the coordinator means "re-register", which is the caller's decision, not
@@ -91,22 +150,25 @@ func (rp retryPolicy) do(ctx context.Context, op string, f func(ctx context.Cont
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			select {
-			case <-ctx.Done():
-				return fmt.Errorf("svc: %s: %w (after %d attempts)", op, ctx.Err(), i)
-			case <-time.After(jitter(delay)):
+			d := delay
+			if rp.Max > 0 && d > rp.Max {
+				d = rp.Max
+			}
+			if serr := retrySleep(ctx, jitter(d)); serr != nil {
+				return fmt.Errorf("svc: %s: %w (after %d attempts)", op, serr, i)
 			}
 			delay *= 2
-			if rp.Max > 0 && delay > rp.Max {
-				delay = rp.Max
-			}
 		}
 		attemptCtx := ctx
 		var cancel context.CancelFunc
 		if rp.PerTry > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, rp.PerTry)
 		}
-		err = f(attemptCtx)
+		if ferr := failpoint.InjectCtx("rpc", op); ferr != nil {
+			err = ferr // injected transport failure: retried like a real one
+		} else {
+			err = f(attemptCtx)
+		}
 		if cancel != nil {
 			cancel()
 		}

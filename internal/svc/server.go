@@ -128,6 +128,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if degraded, overflow, errs, lastErr := s.cache.Degraded(); degraded {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded: journal unavailable (%d results in memory overflow, %d journal errors, last: %s)\n",
+				overflow, errs, lastErr)
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	if s.cluster != nil {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/failpoint"
 )
 
 // WorkerOptions configure a cluster worker (sweepd -join).
@@ -58,13 +59,13 @@ type WorkerOptions struct {
 type Worker struct {
 	opts  WorkerOptions
 	cache *Cache
-	run   func(experiment.Config) experiment.Result
-	rp    retryPolicy
 	hc    *http.Client
+	run   func(experiment.Config) experiment.Result
 
 	mu sync.Mutex
 	id string // current registration; replaced on re-register after a partition
 	hb time.Duration
+	rp retryPolicy // capped to half the lease TTL at registration
 
 	// Counters, exposed for tests and the shutdown log line.
 	sims      atomic.Uint64 // configurations actually simulated
@@ -113,9 +114,16 @@ func (w *Worker) url(path string) string {
 	return strings.TrimRight(w.opts.Coordinator, "/") + path
 }
 
+// policy snapshots the current retry policy (registration may shrink it).
+func (w *Worker) policy() retryPolicy {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rp
+}
+
 // post runs one coordinator RPC under the retry policy.
 func (w *Worker) post(ctx context.Context, op, path string, in, out any) error {
-	return w.rp.do(ctx, op, func(ctx context.Context) error {
+	return w.policy().do(ctx, op, func(ctx context.Context) error {
 		return postJSON(ctx, w.hc, w.url(path), in, out)
 	})
 }
@@ -135,6 +143,14 @@ func (w *Worker) register(ctx context.Context) error {
 	}
 	if w.hb <= 0 {
 		w.hb = 3 * time.Second
+	}
+	if ttl := time.Duration(resp.LeaseTTLNS); ttl > 0 {
+		// A retry storm must never outlive our own lease: an upload still
+		// backing off past the TTL would hand the config to a second worker
+		// while this one eventually lands it too (harmless — uploads are
+		// idempotent — but wasteful). Half the TTL leaves the attempts
+		// themselves room under the other half.
+		w.rp = w.rp.capTotal(ttl / 2)
 	}
 	w.mu.Unlock()
 	w.logf("registered as %s (heartbeat %v, lease TTL %v)", resp.WorkerID,
@@ -195,7 +211,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				return nil
 			}
 			w.logf("lease: %v (backing off)", err)
-			if !sleepCtx(ctx, jitter(w.rp.Max)) {
+			if !sleepCtx(ctx, jitter(w.policy().Max)) {
 				return nil
 			}
 			continue
@@ -227,7 +243,7 @@ func (w *Worker) registerLoop(ctx context.Context) error {
 			return ctx.Err()
 		}
 		w.logf("register: %v (backing off)", err)
-		if !sleepCtx(ctx, jitter(w.rp.Max)) {
+		if !sleepCtx(ctx, jitter(w.policy().Max)) {
 			return ctx.Err()
 		}
 	}
@@ -306,6 +322,10 @@ func (w *Worker) runOne(cfg experiment.Config, leaseID string) {
 	res, ok := w.cache.peek(key)
 	if ok {
 		w.cacheHits.Add(1)
+	} else if ferr := failpoint.InjectCtx("worker.run", cfg.ID()); ferr != nil {
+		// Injected simulation failure (the poison-config chaos hook; the
+		// exit action never returns). Errored results upload but never cache.
+		res = experiment.Result{Config: cfg.Normalize(), Error: ferr.Error()}
 	} else {
 		res = w.run(cfg)
 		w.sims.Add(1)

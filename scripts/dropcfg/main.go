@@ -1,0 +1,79 @@
+// Command dropcfg filters configurations out of a sweep ResultSet JSON and
+// canonicalizes what remains so two result files can be compared
+// byte-for-byte after removing configurations that legitimately differ —
+// e.g. a poison configuration the cluster quarantined as an errored Result
+// while the direct single-process oracle simulated it fine. Wall-clock
+// fields measure the machine, not the science, and are zeroed.
+//
+//	dropcfg -in served.json -out served.norm.json \
+//	    -drop cubic-vs-cubic_red_4bdp_100Mbps_seed1
+//
+// With -expect-error, every dropped configuration must be present in the
+// input AND carry an Error containing the given substring; the tool exits
+// non-zero otherwise. This lets shell smoke tests assert "the poison config
+// was quarantined, everything else is byte-identical" without a JSON parser.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input ResultSet JSON (required)")
+		out    = flag.String("out", "", "output path for the filtered, canonicalized ResultSet (required)")
+		drop   = flag.String("drop", "", "comma-separated Config.ID()s to remove (each must be present in the input)")
+		expect = flag.String("expect-error", "", "require every dropped result's Error to contain this substring")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("-in and -out are required"))
+	}
+
+	rs, err := experiment.LoadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{} // ID -> seen in input
+	for _, id := range strings.Split(*drop, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = false
+		}
+	}
+
+	kept := rs.Results[:0]
+	for _, r := range rs.Results {
+		id := r.Config.ID()
+		if _, dropIt := want[id]; dropIt {
+			want[id] = true
+			if *expect != "" && !strings.Contains(r.Error, *expect) {
+				fatal(fmt.Errorf("dropped config %s: error %q does not contain %q", id, r.Error, *expect))
+			}
+			continue
+		}
+		r.Wall = 0
+		kept = append(kept, r)
+	}
+	for id, seen := range want {
+		if !seen {
+			fatal(fmt.Errorf("config %s not present in %s", id, *in))
+		}
+	}
+	rs.Results = kept
+
+	if err := experiment.SaveFile(*out, rs); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dropcfg: wrote %s (%d results kept, %d dropped)\n", *out, len(kept), len(want))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dropcfg:", err)
+	os.Exit(1)
+}

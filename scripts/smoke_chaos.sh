@@ -1,0 +1,197 @@
+#!/bin/sh
+# smoke-chaos: end-to-end durability check of sweepd under injected faults
+# (make smoke-chaos).
+#
+# Starts one coordinator (with fsync failures armed on its journal) and two
+# workers in crash-restart loops (armed to die with exit 7 whenever they
+# lease one designated poison configuration), submits a 12-configuration
+# grid, and proves the durability contract:
+#
+#   1. the poison configuration kills its worker 3 times, exhausts the
+#      retry budget, and is quarantined as a structured errored Result
+#      ("sweepd: quarantined ..."), visible on /metrics;
+#   2. every other configuration is byte-identical to a direct
+#      single-process cmd/sweep run of the same GridSpec (modulo wall_ns),
+#      despite the worker crashes and the journal outage;
+#   3. the injected fsync failures push the coordinator's cache into
+#      degraded mode (journal_errors_total > 0) and it recovers once the
+#      "disk" does: by the end the journal is healthy again (degraded=0,
+#      overflow=0) and every result survived in memory;
+#   4. a post-shutdown `sweepd -fsck` pass finds the compacted coordinator
+#      journal clean (every CRC verifies, no duplicates, keys agree).
+#
+# Determinism: the failpoints fire on exact lease/fsync hits — no
+# sleeps-as-sync; the polling loops below only bound total wall time.
+# Nonzero exit on any mismatch.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+coord_pid=""
+client_pid=""
+loop1_pid=""
+loop2_pid=""
+
+kill_workers() { # best-effort: kill whatever incarnation each restart loop runs
+    for w in w1 w2; do
+        p=$(cat "$tmp/$w.pid" 2>/dev/null || true)
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+}
+
+cleanup() {
+    rm -f "$tmp/run"
+    kill_workers
+    for p in $client_pid $loop1_pid $loop2_pid $coord_pid; do
+        kill "$p" 2>/dev/null || true
+    done
+    for p in $client_pid $loop1_pid $loop2_pid $coord_pid; do
+        wait "$p" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke-chaos: FAIL: $*" >&2
+    for log in coordinator w1 w2; do
+        [ -f "$tmp/$log.log" ] && tail -8 "$tmp/$log.log" | sed "s/^/smoke-chaos: $log: /" >&2
+    done
+    exit 1
+}
+
+metric() { # metric <name> — scrape one counter/gauge from the coordinator
+    curl -sf "$base/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+
+# 2 pairings x 2 AQMs x 3 queues = 12 cheap configurations. One of them is
+# designated poison: every worker that leases it is killed by the armed
+# worker.run failpoint before it can upload.
+SPEC="-bws 100Mbps -queues 2,4,8 -aqms fifo,red -pairings reno:reno,cubic:cubic -duration 2s"
+NCONF=12
+NHEALTHY=11
+POISON="cubic-vs-cubic_red_4bdp_100Mbps_seed1"
+
+echo "smoke-chaos: building sweep, sweepd, and dropcfg" >&2
+$GO build -o "$tmp/sweep" ./cmd/sweep
+$GO build -o "$tmp/sweepd" ./cmd/sweepd
+$GO build -o "$tmp/dropcfg" ./scripts/dropcfg
+
+echo "smoke-chaos: direct single-process sweep (the byte-identity oracle)" >&2
+"$tmp/sweep" $SPEC -quiet -strict -out "$tmp/direct.json" >/dev/null
+
+# Coordinator: short lease TTL so the three poison crash-detect cycles fit
+# in seconds; lease-batch 1 so healthy configurations never share a lease
+# with the poison one (they must not inherit its failures); the first three
+# journal fsyncs fail as if the disk filled, then it "recovers".
+echo "smoke-chaos: starting coordinator (fsync failures armed) + 2 crash-restart workers" >&2
+"$tmp/sweepd" -coordinator -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -journal "$tmp/coordinator.ckpt.jsonl" \
+    -lease-ttl 2s -heartbeat 250ms -lease-batch 1 -retry-budget 3 \
+    -failpoints 'checkpoint.fsync=err(injected: no space left on device)@times=3' \
+    2>"$tmp/coordinator.log" &
+coord_pid=$!
+i=0
+while [ ! -f "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "coordinator did not come up"
+    sleep 0.1
+done
+base="http://$(cat "$tmp/addr")"
+
+# Each worker dies with exit 7 the moment it starts running the poison
+# configuration; the loop restarts it (fresh registration, same name) until
+# the run flag is removed.
+worker_loop() {
+    while [ -f "$tmp/run" ]; do
+        "$tmp/sweepd" -join "$base" -name "$1" -journal "$tmp/$1.ckpt.jsonl" \
+            -failpoints "worker.run=exit:7@arg=$POISON" 2>>"$tmp/$1.log" &
+        echo $! >"$tmp/$1.pid"
+        wait $! 2>/dev/null || true
+        sleep 0.2
+    done
+}
+touch "$tmp/run"
+worker_loop w1 &
+loop1_pid=$!
+worker_loop w2 &
+loop2_pid=$!
+
+echo "smoke-chaos: submitting the grid via $base" >&2
+"$tmp/sweep" $SPEC -quiet -remote "$base" -out "$tmp/served.json" >/dev/null 2>&1 &
+client_pid=$!
+
+# The job can only finish once the poison configuration has crashed three
+# workers and been quarantined (~3 lease TTLs), so waiting on the client IS
+# waiting on the quarantine state machine.
+echo "smoke-chaos: waiting for the sweep (3 poison crash cycles + quarantine)" >&2
+i=0
+while kill -0 "$client_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 1200 ] && fail "sweep did not finish within 120s (quarantine stuck?)"
+    sleep 0.1
+done
+wait "$client_pid" || fail "remote sweep client exited non-zero"
+client_pid=""
+
+echo "smoke-chaos: quarantine + journal-degradation counters on /metrics" >&2
+quarantined=$(metric sweepd_cluster_configs_quarantined_total)
+[ "${quarantined:-0}" = "1" ] ||
+    fail "configs_quarantined_total=$quarantined, want 1 (the poison config)"
+qgauge=$(metric sweepd_cluster_quarantined)
+[ "${qgauge:-0}" = "1" ] || fail "cluster_quarantined=$qgauge, want 1"
+dead=$(metric sweepd_cluster_workers_dead_total)
+[ "${dead:-0}" -ge 3 ] ||
+    fail "workers_dead_total=$dead, want >= 3 (one per exhausted retry)"
+results=$(metric sweepd_cluster_results_total)
+[ "$results" = "$NHEALTHY" ] ||
+    fail "results_total=$results, want $NHEALTHY (poison never uploads; healthy configs exactly once)"
+jerrs=$(metric sweepd_journal_errors_total)
+[ "${jerrs:-0}" -ge 1 ] ||
+    fail "journal_errors_total=$jerrs, want >= 1 (the injected fsync failures)"
+degraded=$(metric sweepd_journal_degraded)
+[ "${degraded:-1}" = "0" ] ||
+    fail "journal_degraded=$degraded, want 0 (cache must recover once fsync heals)"
+overflow=$(metric sweepd_journal_overflow_results)
+[ "${overflow:-1}" = "0" ] ||
+    fail "journal_overflow_results=$overflow, want 0 (overflow drained back to disk)"
+echo "smoke-chaos: poison quarantined after $dead crashes; journal degraded and recovered (errors=$jerrs)" >&2
+
+echo "smoke-chaos: byte-identity of the $NHEALTHY non-quarantined results vs the direct sweep" >&2
+"$tmp/dropcfg" -in "$tmp/served.json" -out "$tmp/served.norm.json" \
+    -drop "$POISON" -expect-error "sweepd: quarantined" 2>/dev/null ||
+    fail "served ResultSet: poison config missing or not a quarantine error"
+"$tmp/dropcfg" -in "$tmp/direct.json" -out "$tmp/direct.norm.json" \
+    -drop "$POISON" 2>/dev/null ||
+    fail "direct ResultSet: poison config missing (it must simulate fine locally)"
+cmp -s "$tmp/direct.norm.json" "$tmp/served.norm.json" || {
+    diff "$tmp/direct.norm.json" "$tmp/served.norm.json" | head -40 >&2
+    fail "non-quarantined results differ from the direct single-process sweep"
+}
+
+echo "smoke-chaos: graceful shutdown" >&2
+rm -f "$tmp/run"
+i=0
+while kill -0 "$loop1_pid" 2>/dev/null || kill -0 "$loop2_pid" 2>/dev/null; do
+    kill_workers
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "worker restart loops did not exit"
+    sleep 0.1
+done
+wait "$loop1_pid" "$loop2_pid" 2>/dev/null || true
+loop1_pid=""
+loop2_pid=""
+kill "$coord_pid"
+wait "$coord_pid" || fail "coordinator exited non-zero on SIGTERM"
+coord_pid=""
+
+echo "smoke-chaos: post-run integrity scan (sweepd -fsck)" >&2
+"$tmp/sweepd" -fsck -journal "$tmp/coordinator.ckpt.jsonl" 2>>"$tmp/coordinator.log" ||
+    fail "sweepd -fsck (repair) exited non-zero on the coordinator journal"
+"$tmp/sweepd" -fsck -fsck-dry-run -journal "$tmp/coordinator.ckpt.jsonl" 2>>"$tmp/coordinator.log" ||
+    fail "coordinator journal still dirty after fsck repair"
+records=$(grep -c '^r ' "$tmp/coordinator.ckpt.jsonl")
+[ "$records" = "$NHEALTHY" ] ||
+    fail "coordinator journal has $records records, want $NHEALTHY (quarantined results are never cached)"
+
+echo "smoke-chaos: OK (poison quarantined after 3 crashes, $NHEALTHY results byte-identical, journal degraded + recovered + fsck-clean)" >&2

@@ -137,9 +137,9 @@ echo "smoke-cluster: merging per-worker journals with sweepd -merge" >&2
 "$tmp/sweepd" -merge -journal "$tmp/merged.ckpt.jsonl" \
     "$tmp/w1.ckpt.jsonl" "$tmp/w2.ckpt.jsonl" "$tmp/w3.ckpt.jsonl" 2>>"$tmp/coordinator.log" ||
     fail "sweepd -merge exited non-zero"
-merged=$(grep -c . "$tmp/merged.ckpt.jsonl")
+merged=$(grep -c '^r ' "$tmp/merged.ckpt.jsonl")
 [ "$merged" = "$NCONF" ] ||
-    fail "merged journal has $merged lines, want $NCONF (one per configuration)"
+    fail "merged journal has $merged records, want $NCONF (one per configuration)"
 
 echo "smoke-cluster: graceful worker shutdown (release, never expiry)" >&2
 expired_before=$(metric sweepd_cluster_leases_expired_total)
@@ -155,9 +155,9 @@ echo "smoke-cluster: coordinator shutdown (journal compaction)" >&2
 kill "$coord_pid"
 wait "$coord_pid" || fail "coordinator exited non-zero on SIGTERM"
 coord_pid=""
-lines=$(grep -c . "$tmp/coordinator.ckpt.jsonl") ||
+lines=$(grep -c '^r ' "$tmp/coordinator.ckpt.jsonl") ||
     fail "coordinator journal missing after shutdown"
 [ "$lines" = "$NCONF" ] ||
-    fail "coordinator journal not compacted: $lines lines, want $NCONF"
+    fail "coordinator journal not compacted: $lines records, want $NCONF"
 
 echo "smoke-cluster: OK (sweep survived SIGKILL, bytes = direct, $NCONF results exactly once, journals merged + compacted)" >&2

@@ -115,9 +115,10 @@ echo "smoke-svc: graceful shutdown (drain + journal compaction)" >&2
 kill "$pid"
 wait "$pid" || fail "daemon exited non-zero on SIGTERM"
 pid=""
-lines=$(grep -c . "$tmp/journal.ckpt.jsonl") ||
+lines=$(grep -c '^r ' "$tmp/journal.ckpt.jsonl") ||
     fail "journal missing after shutdown"
-# 2 configs at 4s + the same 2 at 5s + 1 parking-lot: five live science keys.
-[ "$lines" = "5" ] || fail "journal not compacted: $lines lines, want 5"
+# 2 configs at 4s + the same 2 at 5s + 1 parking-lot: five live science keys
+# (record lines only; the v2 journal also carries a version-header line).
+[ "$lines" = "5" ] || fail "journal not compacted: $lines records, want 5"
 
 echo "smoke-svc: OK (served = direct, repeats coalesced, cache hits on /metrics, overrides re-simulated, parking-lot distinct + coalesced, journal compacted)" >&2
