@@ -44,6 +44,12 @@
 #                     byte-identical to a direct sweep, the journal degrades
 #                     and recovers, and a post-run sweepd -fsck finds the
 #                     compacted journal clean
+#   make smoke-fct  — end-to-end open-loop FCT check (scripts/smoke_fct.sh):
+#                     a small mixed mice grid swept directly and through
+#                     sweepd (byte-identical modulo wall_ns), solo baselines
+#                     auto-appended, per-size-class FCT percentiles in every
+#                     result, and the harm-to-FCT matrix rendered by both
+#                     cmd/report and the daemon's /report endpoint
 #   make trace-smoke— end-to-end flight-recorder check (scripts/smoke_trace.sh):
 #                     tcpfair -telemetry-out records a run, cmd/timeline
 #                     renders cwnd + queue-occupancy timelines from it,
@@ -53,18 +59,19 @@
 #   make fuzz-smoke — every fuzz target for a short budget, seeded from the
 #                     checked-in corpora under */testdata/fuzz
 #   make bench      — engine micro-benchmarks (0 allocs/op on reuse paths)
-#   make bench-save — record the topology benchmark trajectory (events/sec,
-#                     ns/event, allocs/packet on the dumbbell and a 3-hop
-#                     parking lot) into BENCH_topo.json; run on a quiet host
+#   make bench-save — record the benchmark trajectories (events/sec,
+#                     ns/event, allocs/packet) into BENCH_topo.json (dumbbell
+#                     and a 3-hop parking lot) and BENCH_fct.json (open-loop
+#                     mice churn, competition and solo); run on a quiet host
 #   make bench-gate — replay the trajectory and fail on regression: allocs
 #                     strictly, speed within a 5× host-variance tolerance
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc smoke-cluster smoke-chaos trace-smoke fuzz-smoke bench bench-save bench-gate
+.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc smoke-cluster smoke-chaos smoke-fct trace-smoke fuzz-smoke bench bench-save bench-gate
 
-ci: lint build test allocs bench-gate audit resilience smoke smoke-svc smoke-cluster smoke-chaos trace-smoke fuzz-smoke
+ci: lint build test allocs bench-gate audit resilience smoke smoke-svc smoke-cluster smoke-chaos smoke-fct trace-smoke fuzz-smoke
 
 lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
@@ -109,6 +116,9 @@ smoke-cluster:
 smoke-chaos:
 	GO="$(GO)" sh scripts/smoke_chaos.sh
 
+smoke-fct:
+	GO="$(GO)" sh scripts/smoke_fct.sh
+
 trace-smoke:
 	GO="$(GO)" sh scripts/smoke_trace.sh
 
@@ -120,12 +130,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzConnAckProcessing -fuzztime $(FUZZTIME) ./internal/tcp/
 	$(GO) test -run '^$$' -fuzz FuzzParseNDJSON -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz FuzzTopoSpec -fuzztime $(FUZZTIME) ./internal/topo/
+	$(GO) test -run '^$$' -fuzz FuzzFlowSpecParse -fuzztime $(FUZZTIME) ./internal/flows/
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkTimer' -benchmem ./internal/sim/
 
 bench-save:
-	BENCH_SAVE=1 $(GO) test -run 'TestBenchTopoTrajectory' -v .
+	BENCH_SAVE=1 $(GO) test -run 'TestBenchTopoTrajectory|TestBenchFCTTrajectory' -v .
 
 bench-gate:
-	$(GO) test -run 'TestBenchTopoTrajectory' -v .
+	$(GO) test -run 'TestBenchTopoTrajectory|TestBenchFCTTrajectory' -v .

@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/failpoint"
 	"repro/internal/faults"
+	"repro/internal/flows"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -216,6 +217,53 @@ func TestAllocGuardFailpointsDisabled(t *testing.T) {
 	if perPacket > 1.0 {
 		t.Errorf("disarmed failpoints are not free: %.3f allocs per forwarded data packet "+
 			"(budget ≤ 1, identical to the pre-failpoint baseline)", perPacket)
+	}
+}
+
+// TestAllocGuardOpenLoop: the open-loop workload churns flows through the
+// engine — attach, transfer, teardown, sketch update — on top of the two
+// elephants. Flow setup/teardown costs a bounded number of allocations per
+// flow (connection, receiver, demux entries), amortized to noise over the
+// run's half-million forwarded segments, so the combined traffic must hold
+// the same ≤ 1 alloc per forwarded data packet budget as the static run.
+func TestAllocGuardOpenLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2s of traffic; skipped in -short mode")
+	}
+	// Twice the default mice arrival rate: ~20 flows churn through the 2s
+	// run (attach + teardown every ~100ms) while the elephants keep the
+	// denominator honest.
+	cfg := allocGuardConfig()
+	cfg.Flows = &flows.Spec{Populations: []flows.Population{
+		{Name: "mice", MeanArrival: 100 * time.Millisecond},
+	}}
+
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+	if last.FCT == nil || last.FCT.Completed == 0 {
+		t.Fatalf("open-loop workload inactive during alloc guard: %+v", last.FCT)
+	}
+
+	// Elephant goodput plus the completed mice payload, both forwarded
+	// through the bottleneck.
+	goodputBytes := (last.SenderBps[0]+last.SenderBps[1])*cfg.Duration.Seconds()/8 +
+		float64(last.FCT.Class("all").Bytes)
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+	perPacket := allocs / segments
+	t.Logf("allocs/run = %.0f over %.0f segments (%d flows churned) → %.3f allocs per forwarded data packet",
+		allocs, segments, last.FCT.Opened, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("open-loop allocation regression: %.3f allocs per forwarded data packet "+
+			"(budget ≤ 1, flow churn must amortize away)", perPacket)
 	}
 }
 

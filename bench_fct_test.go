@@ -1,0 +1,150 @@
+//go:build !race
+
+// Benchmark-trajectory gate for the open-loop FCT workload: BENCH_fct.json
+// pins the event-core throughput and per-packet allocation budget of runs
+// with dynamic flow churn — the competition mix (elephants + mice) and the
+// solo baseline the harm matrix divides by. `make bench-save` refreshes the
+// file; `make ci` replays the measurement and fails on regression,
+// allocations strictly and speed loosely (see bench_topo_test.go).
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/flows"
+)
+
+const benchFCTFile = "BENCH_fct.json"
+
+type benchFCTEntry struct {
+	Workload        string  `json:"workload"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	NsPerEvent      float64 `json:"ns_per_event"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	FlowsOpened     int     `json:"flows_opened"`
+}
+
+func benchFCTConfigs() map[string]experiment.Config {
+	mice := &flows.Spec{Populations: []flows.Population{
+		{Name: "mice", MeanArrival: 100 * time.Millisecond},
+	}}
+	competition := allocGuardConfig()
+	competition.Flows = mice
+	solo := allocGuardConfig()
+	solo.Flows = mice
+	solo.SoloFCT = true
+	return map[string]experiment.Config{
+		"mice-competition": competition,
+		"mice-solo":        solo,
+	}
+}
+
+// measureBenchFCT runs one workload configuration, reporting event
+// throughput, allocation rate per forwarded data segment (elephant goodput
+// plus completed mice payload), and the churn volume.
+func measureBenchFCT(t *testing.T, cfg experiment.Config) benchFCTEntry {
+	t.Helper()
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+	if last.FCT == nil || last.FCT.Completed == 0 {
+		t.Fatalf("workload inactive: %+v", last.FCT)
+	}
+	goodputBytes := (last.SenderBps[0]+last.SenderBps[1])*cfg.Duration.Seconds()/8 +
+		float64(last.FCT.Class("all").Bytes)
+	segments := goodputBytes / 8900
+	if segments < 100 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+
+	start := time.Now()
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	return benchFCTEntry{
+		EventsPerSec:    float64(res.Events) / wall.Seconds(),
+		NsPerEvent:      float64(wall.Nanoseconds()) / float64(res.Events),
+		AllocsPerPacket: allocs / segments,
+		FlowsOpened:     last.FCT.Opened,
+	}
+}
+
+// TestBenchFCTTrajectory is both the recorder and the gate, exactly like
+// TestBenchTopoTrajectory: BENCH_SAVE=1 rewrites BENCH_fct.json, otherwise
+// the checked-in trajectory gates the measurement.
+func TestBenchFCTTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates seconds of churning traffic; skipped in -short mode")
+	}
+	cfgs := benchFCTConfigs()
+	names := []string{"mice-competition", "mice-solo"}
+
+	if os.Getenv("BENCH_SAVE") == "1" {
+		var entries []benchFCTEntry
+		for _, name := range names {
+			e := measureBenchFCT(t, cfgs[name])
+			e.Workload = name
+			t.Logf("%s: %.0f events/sec, %.1f ns/event, %.3f allocs/pkt, %d flows",
+				name, e.EventsPerSec, e.NsPerEvent, e.AllocsPerPacket, e.FlowsOpened)
+			entries = append(entries, e)
+		}
+		data, err := json.MarshalIndent(entries, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchFCTFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("saved trajectory to %s", benchFCTFile)
+		return
+	}
+
+	data, err := os.ReadFile(benchFCTFile)
+	if err != nil {
+		t.Fatalf("no benchmark trajectory (%v); record one with `make bench-save`", err)
+	}
+	var saved []benchFCTEntry
+	if err := json.Unmarshal(data, &saved); err != nil {
+		t.Fatalf("corrupt %s: %v", benchFCTFile, err)
+	}
+	byName := map[string]benchFCTEntry{}
+	for _, e := range saved {
+		byName[e.Workload] = e
+	}
+	for _, name := range names {
+		want, ok := byName[name]
+		if !ok {
+			t.Errorf("%s missing from %s; re-record with `make bench-save`", name, benchFCTFile)
+			continue
+		}
+		got := measureBenchFCT(t, cfgs[name])
+		t.Logf("%s: %.0f events/sec (saved %.0f), %.3f allocs/pkt (saved %.3f), %d flows (saved %d)",
+			name, got.EventsPerSec, want.EventsPerSec,
+			got.AllocsPerPacket, want.AllocsPerPacket, got.FlowsOpened, want.FlowsOpened)
+		// The arrival schedule is part of the determinism contract: a churn
+		// count drift means the seed-derived streams changed.
+		if got.FlowsOpened != want.FlowsOpened {
+			t.Errorf("%s: flow churn drifted: opened %d, saved %d (arrival determinism broken?)",
+				name, got.FlowsOpened, want.FlowsOpened)
+		}
+		if got.AllocsPerPacket > want.AllocsPerPacket+0.05 {
+			t.Errorf("%s: allocs/packet regressed: %.3f > saved %.3f",
+				name, got.AllocsPerPacket, want.AllocsPerPacket)
+		}
+		if got.EventsPerSec < want.EventsPerSec/5 {
+			t.Errorf("%s: event throughput collapsed: %.0f events/sec vs saved %.0f (>5× slower)",
+				name, got.EventsPerSec, want.EventsPerSec)
+		}
+	}
+}

@@ -48,6 +48,7 @@ func main() {
 	md := paper.Report(s, paper.ReportOptions{
 		Note:           strings.Join(notes, "; "),
 		IncludeFigures: *figures,
+		FCTMatrix:      experiment.HarmFCTMatrix(all),
 	})
 	if *out == "-" {
 		fmt.Print(md)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/flows"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -33,7 +34,9 @@ func main() {
 		queue       = flag.Float64("queue", 2, "bottleneck buffer size in BDP multiples")
 		bwStr       = flag.String("bw", "1Gbps", "bottleneck bandwidth (e.g. 100Mbps, 25Gbps)")
 		duration    = flag.Duration("duration", 0, "simulated transfer time (0 = bandwidth-scaled default)")
-		flows       = flag.Int("flows", 0, "flows per sender (0 = paper's Table 2 plan, scaled)")
+		nflows      = flag.Int("nflows", 0, "long-running flows per sender (0 = paper's Table 2 plan, scaled)")
+		flowSpec    = flag.String("flows", "", "open-loop background workload: preset list (mice, elephants, mixed, e.g. mice:arrival=100ms,p95=1MB), inline JSON, or @file.json")
+		soloFCT     = flag.Bool("solo-fct", false, "run the -flows workload alone (no elephants): the FCT baseline the harm matrix divides by")
 		seed        = flag.Uint64("seed", 1, "replica seed")
 		rtt         = flag.Duration("rtt", 62*time.Millisecond, "end-to-end round-trip time")
 		paper       = flag.Bool("paper-scale", false, "full 200s runs and uncapped Table 2 flow counts")
@@ -75,6 +78,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	workload, err := flows.Parse(*flowSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *soloFCT && workload == nil {
+		fatal(fmt.Errorf("-solo-fct requires -flows"))
+	}
 
 	cfg := experiment.Config{
 		Pairing:        experiment.Pairing{CCA1: c1, CCA2: c2},
@@ -83,7 +93,7 @@ func main() {
 		Bottleneck:     bw,
 		RTT:            *rtt,
 		Duration:       *duration,
-		FlowsPerSender: *flows,
+		FlowsPerSender: *nflows,
 		Seed:           *seed,
 		PaperScale:     *paper,
 		ECN:            *ecn,
@@ -92,6 +102,8 @@ func main() {
 		Faults:         profile,
 		Topology:       topology,
 		Audit:          *auditRun,
+		Flows:          workload,
+		SoloFCT:        *soloFCT,
 	}
 
 	opts := core.RunOptions{TraceDir: *traceDir}
@@ -152,6 +164,20 @@ func main() {
 			}
 			fmt.Printf("  %-8s %-6s %2d flows %12.2f Mbps  %8d rtx%s\n",
 				g.Name, g.CCA, g.Flows, g.Bps/1e6, g.Retransmits, bg)
+		}
+	}
+	if res.FCT != nil {
+		fmt.Printf("\nopen-loop workload: %d flows opened, %d completed, %d still open\n",
+			res.FCT.Opened, res.FCT.Completed, res.FCT.Open)
+		for _, c := range res.FCT.Classes {
+			if c.Count == 0 {
+				fmt.Printf("  %-7s  no completions\n", c.Class)
+				continue
+			}
+			fmt.Printf("  %-7s %6d flows %12s  FCT p50 %10v  p95 %10v  p99 %10v  mean %10v\n",
+				c.Class, c.Count, units.ByteSize(c.Bytes).String(),
+				c.P50.Round(time.Microsecond), c.P95.Round(time.Microsecond),
+				c.P99.Round(time.Microsecond), c.Mean.Round(time.Microsecond))
 		}
 	}
 	if len(res.Ports) > 0 {

@@ -115,6 +115,14 @@ type Auditor struct {
 	created  int64
 	consumed int64
 
+	// Dynamic-flow lifecycle ledger, bumped by open-loop workloads as
+	// flows come and go mid-run. Not part of packet conservation (a
+	// closed flow's in-flight packets drain through the demux
+	// unknown-flow path), but Finish insists the lifecycle itself is
+	// sane: a flow cannot close more times than it opened.
+	flowsOpened int64
+	flowsClosed int64
+
 	probes  []func() NetSample
 	finals  []finishCheck
 	samples []NetSample // scratch reused by snapshot/Finish
@@ -158,6 +166,22 @@ func (a *Auditor) PacketCreated() { a.created++ }
 // PacketConsumed records one packet terminally leaving the network at an
 // endpoint (delivered to a sink, demux, sender or receiver and released).
 func (a *Auditor) PacketConsumed() { a.consumed++ }
+
+// FlowOpened records one dynamic flow entering the network mid-run.
+func (a *Auditor) FlowOpened() { a.flowsOpened++ }
+
+// FlowClosed records one dynamic flow leaving the network (completed and
+// released, or torn down at end of run).
+func (a *Auditor) FlowClosed() { a.flowsClosed++ }
+
+// FlowsOpened returns the lifecycle ledger's opened count.
+func (a *Auditor) FlowsOpened() int64 { return a.flowsOpened }
+
+// FlowsClosed returns the lifecycle ledger's closed count.
+func (a *Auditor) FlowsClosed() int64 { return a.flowsClosed }
+
+// FlowsOpen returns how many dynamic flows are currently open.
+func (a *Auditor) FlowsOpen() int64 { return a.flowsOpened - a.flowsClosed }
 
 // Created returns the ledger's created count (telemetry and tests).
 func (a *Auditor) Created() int64 { return a.created }
@@ -218,6 +242,10 @@ func (a *Auditor) collect() []NetSample {
 func (a *Auditor) snapshot() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "  ledger: created=%d consumed=%d", a.created, a.consumed)
+	if a.flowsOpened > 0 {
+		fmt.Fprintf(&b, "\n  flows:  opened=%d closed=%d open=%d",
+			a.flowsOpened, a.flowsClosed, a.flowsOpened-a.flowsClosed)
+	}
 	var dropped, resident int64
 	for _, s := range a.collect() {
 		fmt.Fprintf(&b, "\n  element %-12s dropped=%-8d resident=%d", s.Name, s.Dropped, s.Resident)
@@ -241,6 +269,10 @@ func (a *Auditor) Finish() {
 		if err := fc.fn(); err != nil {
 			a.Failf(fc.layer, fc.rule, "%v", err)
 		}
+	}
+	if a.flowsClosed > a.flowsOpened {
+		a.Failf("audit", "flow-lifecycle",
+			"closed=%d flows but only opened=%d", a.flowsClosed, a.flowsOpened)
 	}
 	var dropped, resident int64
 	for _, s := range a.collect() {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/cca"
 	"repro/internal/experiment"
+	"repro/internal/flows"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -86,24 +87,42 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 		flow     *topo.Flow
 		recorder *trace.Recorder
 	}
-	var flows []flowMeta
-	for ci := 0; ci < net.NumClasses(); ci++ {
-		name := experiment.ClassCCA(cfg, net.ClassSpec(ci), ci)
-		for i := 0; i < experiment.ClassFlowCount(cfg, net.ClassSpec(ci)); i++ {
-			cc, err := cca.New(name)
-			if err != nil {
-				return experiment.Result{}, fmt.Errorf("core: %w", err)
+	// Same RNG discipline as experiment.Run: elephants draw start jitter
+	// from the engine RNG in construction order; the open-loop workload
+	// (if any) owns per-population derived streams. Solo FCT baselines
+	// attach no elephants.
+	var tracked []flowMeta
+	if !cfg.SoloFCT {
+		for ci := 0; ci < net.NumClasses(); ci++ {
+			name := experiment.ClassCCA(cfg, net.ClassSpec(ci), ci)
+			for i := 0; i < experiment.ClassFlowCount(cfg, net.ClassSpec(ci)); i++ {
+				cc, err := cca.New(name)
+				if err != nil {
+					return experiment.Result{}, fmt.Errorf("core: %w", err)
+				}
+				f := net.AddFlow(ci, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
+				delay := workload.StartJitter(eng.RNG(), cfg.StartSpread)
+				eng.Schedule(delay, f.Conn.Start)
+				var rec *trace.Recorder
+				if opts.TraceDir != "" {
+					title := fmt.Sprintf("%s/flow%d", cfg.ID(), f.ID)
+					rec = trace.NewRecorder(title, string(name), ci, uint32(f.ID), delay)
+				}
+				tracked = append(tracked, flowMeta{flow: f, recorder: rec})
 			}
-			f := net.AddFlow(ci, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
-			delay := workload.StartJitter(eng.RNG(), cfg.StartSpread)
-			eng.Schedule(delay, f.Conn.Start)
-			var rec *trace.Recorder
-			if opts.TraceDir != "" {
-				title := fmt.Sprintf("%s/flow%d", cfg.ID(), f.ID)
-				rec = trace.NewRecorder(title, string(name), ci, uint32(f.ID), delay)
-			}
-			flows = append(flows, flowMeta{flow: f, recorder: rec})
 		}
+	}
+	var fr *flows.Runner
+	if cfg.Flows != nil {
+		fr, err = flows.NewRunner(eng, net, cfg.Flows, flows.Options{
+			Seed:    cfg.Seed,
+			Horizon: cfg.Duration,
+			TCP:     tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck},
+		})
+		if err != nil {
+			return experiment.Result{}, fmt.Errorf("core: %w", err)
+		}
+		fr.Start()
 	}
 
 	mon := net.Monitor()
@@ -143,7 +162,7 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 			copy(pair[:], rates)
 			opts.OnSample(now.Std(), pair)
 		}
-		for _, fm := range flows {
+		for _, fm := range tracked {
 			if fm.recorder != nil {
 				st := fm.flow.Conn.Stats()
 				fm.recorder.Observe(now.Seconds(), fm.flow.Rcv.Goodput(),
@@ -219,6 +238,9 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 		res.Groups = experiment.GroupResults(net, cfg)
 		res.Ports = experiment.PortResults(net, cfg.Duration)
 	}
+	if fr != nil {
+		res.FCT = experiment.FCTFromRunner(fr)
+	}
 	if trc != nil {
 		res.Trace = trc.Dump()
 		if opts.TelemetryOut != nil {
@@ -235,7 +257,7 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
 			return res, fmt.Errorf("core: trace dir: %w", err)
 		}
-		for _, fm := range flows {
+		for _, fm := range tracked {
 			st := fm.flow.Conn.Stats()
 			l := fm.recorder.Finish(cfg.Duration.Seconds(), st.BytesSent,
 				fm.flow.Rcv.Goodput(), st.Retransmits)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/aqm"
 	"repro/internal/cca"
 	"repro/internal/faults"
+	"repro/internal/flows"
 	"repro/internal/topo"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -105,6 +106,18 @@ type Config struct {
 	// cache and checkpoint journals stay valid. Non-dumbbell specs are
 	// science: they land in the JSON identity and in ID.
 	Topology *topo.Spec `json:"topology,omitempty"`
+	// Flows arms an open-loop background workload: populations of short
+	// transfers arriving by seeded Poisson processes while the pairing's
+	// long-running flows hold the link. Like faults and topologies it is
+	// science and part of the identity (Key via JSON, ID via its compact
+	// form); nil keeps the legacy elephant-only run and its exact Key.
+	Flows *flows.Spec `json:"flows,omitempty"`
+	// SoloFCT runs the open-loop workload alone — no long-running flows —
+	// as the Ware harm-to-FCT baseline. Normalize pins the pairing of a
+	// solo run to cubic:cubic so one baseline per (AQM, queue, bandwidth,
+	// seed) cell is shared by every pairing in the grid (identical Key →
+	// one simulation, cached for all).
+	SoloFCT bool `json:"solo_fct,omitempty"`
 	// MaxEvents aborts the run after this many simulator events (0 =
 	// unlimited) — the sweep watchdog against runaway configurations. The
 	// abort is deterministic.
@@ -171,6 +184,23 @@ func (c Config) Normalize() Config {
 			c.Topology = &n
 		}
 	}
+	if c.Flows != nil {
+		if c.Flows.Empty() {
+			c.Flows = nil
+		} else {
+			n := c.Flows.Normalize()
+			c.Flows = &n
+		}
+	}
+	if c.Flows == nil {
+		c.SoloFCT = false // nothing to baseline without a workload
+	}
+	if c.SoloFCT {
+		// The solo baseline has no long-running flows, so the pairing is
+		// irrelevant to the simulation; pinning it dedupes the baseline's
+		// Key across every pairing of the grid.
+		c.Pairing = Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic}
+	}
 	return c
 }
 
@@ -185,6 +215,12 @@ func (c Config) ID() string {
 	}
 	if c.Topology != nil && !topo.IsDumbbell(c.Topology) {
 		id += "_" + c.Topology.ID()
+	}
+	if fid := c.Flows.ID(); fid != "" {
+		id += "_flows-" + fid
+	}
+	if c.SoloFCT {
+		id += "_solo"
 	}
 	return id
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/aqm"
 	"repro/internal/audit"
 	"repro/internal/cca"
+	"repro/internal/flows"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -64,6 +65,12 @@ type Result struct {
 	// unchanged; the two-sender fields above always cover classes 0 and 1.
 	Groups []GroupResult `json:"groups,omitempty"`
 	Ports  []PortResult  `json:"ports,omitempty"`
+
+	// FCT carries the open-loop workload's flow-completion-time outcome
+	// when Config.Flows was set: arrival/completion counts and bounded-
+	// sketch percentiles per size class. Nil for elephant-only runs, so
+	// legacy result bytes are unchanged.
+	FCT *FCTResult `json:"fct,omitempty"`
 
 	// Run metadata.
 	Flows      int           `json:"flows"`
@@ -149,18 +156,39 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
 	}
 
-	for ci := 0; ci < net.NumClasses(); ci++ {
-		name := ClassCCA(cfg, net.ClassSpec(ci), ci)
-		for i := 0; i < ClassFlowCount(cfg, net.ClassSpec(ci)); i++ {
-			cc, err := cca.New(name)
-			if err != nil {
-				return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
+	// RNG discipline: the long-running flows draw their start jitter from
+	// the engine RNG in construction order (exactly as before open-loop
+	// workloads existed), while every open-loop arrival process below owns
+	// a stream derived from (Seed, population index). Neither side can
+	// perturb the other, which is what keeps both the legacy elephant
+	// bytes and the arrival schedule reproducible. A SoloFCT baseline
+	// attaches no long-running flows at all.
+	if !cfg.SoloFCT {
+		for ci := 0; ci < net.NumClasses(); ci++ {
+			name := ClassCCA(cfg, net.ClassSpec(ci), ci)
+			for i := 0; i < ClassFlowCount(cfg, net.ClassSpec(ci)); i++ {
+				cc, err := cca.New(name)
+				if err != nil {
+					return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
+				}
+				f := net.AddFlow(ci, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
+				delay := workload.StartJitter(eng.RNG(), cfg.StartSpread)
+				conn := f.Conn
+				eng.Schedule(delay, conn.Start)
 			}
-			f := net.AddFlow(ci, tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck}, cc)
-			delay := workload.StartJitter(eng.RNG(), cfg.StartSpread)
-			conn := f.Conn
-			eng.Schedule(delay, conn.Start)
 		}
+	}
+	var fr *flows.Runner
+	if cfg.Flows != nil {
+		fr, err = flows.NewRunner(eng, net, cfg.Flows, flows.Options{
+			Seed:    cfg.Seed,
+			Horizon: cfg.Duration,
+			TCP:     tcp.Config{ECN: cfg.ECN, DelayedAck: cfg.DelayedAck},
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
+		}
+		fr.Start()
 	}
 
 	eng.RunFor(cfg.Duration)
@@ -221,6 +249,9 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Topology != nil {
 		res.Groups = GroupResults(net, cfg)
 		res.Ports = PortResults(net, cfg.Duration)
+	}
+	if fr != nil {
+		res.FCT = FCTFromRunner(fr)
 	}
 	return res, nil
 }

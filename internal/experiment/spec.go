@@ -13,6 +13,7 @@ import (
 	"repro/internal/aqm"
 	"repro/internal/cca"
 	"repro/internal/faults"
+	"repro/internal/flows"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -48,6 +49,12 @@ type GridSpec struct {
 	// "cross-traffic"), inline JSON, or @file (the topo.Parse syntax).
 	// Empty (and the canonical dumbbell) is the legacy dumbbell.
 	Topo string `json:"topo,omitempty"`
+	// Flows is an open-loop workload spec: preset list ("mice", "mixed",
+	// "mice:arrival=100ms+elephants:cca=bbr1"), inline JSON, or @file
+	// (the flows.Parse syntax). When set, the grid grows one SoloFCT
+	// baseline per distinct (AQM, queue, bandwidth, seed) condition —
+	// the denominators of the harm-to-FCT matrix.
+	Flows string `json:"flows,omitempty"`
 	// Configs truncates the expanded grid to its first N configurations
 	// (0 = all; for smoke tests).
 	Configs int `json:"configs,omitempty"`
@@ -73,6 +80,7 @@ func (s *GridSpec) RegisterFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&s.PaperScale, "paper-scale", s.PaperScale, "full 200s runs and uncapped flow counts")
 	fs.StringVar(&s.Faults, "faults", s.Faults, "fault profile for every run: preset list (e.g. flap or ge:pgb=0.01+flap:at=10s), inline JSON, or @file.json")
 	fs.StringVar(&s.Topo, "topo", s.Topo, "network topology for every run: preset (dumbbell, parking-lot-3, reverse-path[:factor=0.005], cross-traffic[:cca=bbr1]), inline JSON, or @file.json")
+	fs.StringVar(&s.Flows, "flows", s.Flows, "open-loop background workload for every run: preset list (mice, elephants, mixed, e.g. mice:arrival=100ms,p95=1MB), inline JSON, or @file.json; adds one solo FCT baseline per condition")
 	fs.IntVar(&s.Configs, "configs", s.Configs, "truncate the grid to its first N configurations (0 = all; for smoke tests)")
 	fs.Uint64Var(&s.MaxEvents, "max-events", s.MaxEvents, "per-run watchdog: abort a configuration after this many simulator events (0 = unlimited)")
 	fs.StringVar(&s.MaxWall, "max-wall", s.MaxWall, "per-run watchdog: abort a configuration after this much wall time (empty = unlimited)")
@@ -86,6 +94,7 @@ type parsed struct {
 	maxWall  time.Duration
 	profile  *faults.Profile
 	topology *topo.Spec
+	flowSpec *flows.Spec
 }
 
 func (s GridSpec) parse() (parsed, error) {
@@ -176,6 +185,11 @@ func (s GridSpec) parse() (parsed, error) {
 		return p, fmt.Errorf("experiment: spec topo: %w", err)
 	}
 	p.topology = topology
+	flowSpec, err := flows.Parse(s.Flows)
+	if err != nil {
+		return p, fmt.Errorf("experiment: spec flows: %w", err)
+	}
+	p.flowSpec = flowSpec
 	return p, nil
 }
 
@@ -212,9 +226,30 @@ func (s GridSpec) Expand() ([]Config, error) {
 		}
 		cfgs[i].Faults = p.profile
 		cfgs[i].Topology = p.topology
+		cfgs[i].Flows = p.flowSpec
 		cfgs[i].MaxEvents = s.MaxEvents
 		cfgs[i].MaxWall = p.maxWall
 		cfgs[i].Audit = s.Audit
+	}
+	if p.flowSpec != nil {
+		// One solo FCT baseline per distinct non-pairing condition in the
+		// (possibly truncated) grid, appended after it in first-appearance
+		// order. Normalize pins a solo run's pairing, so baselines for
+		// different pairings of the same condition collapse to one Key —
+		// the dedup below keeps them from even appearing twice.
+		seen := map[string]bool{}
+		var solos []Config
+		for _, c := range cfgs {
+			c.SoloFCT = true
+			c = c.Normalize()
+			k := c.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			solos = append(solos, c)
+		}
+		cfgs = append(cfgs, solos...)
 	}
 	return cfgs, nil
 }
@@ -291,6 +326,20 @@ func (s GridSpec) Canonical() (GridSpec, error) {
 			s.Topo = ""
 		}
 	}
+	if s.Flows != "" {
+		// Same rule for workloads: presets, inline JSON and @file specs all
+		// canonicalize to the normalized spec's content JSON, so equivalent
+		// spellings coalesce onto one sweepd job and one cache entry.
+		if p.flowSpec != nil && !p.flowSpec.Empty() {
+			data, err := json.Marshal(p.flowSpec.Normalize())
+			if err != nil {
+				return s, fmt.Errorf("experiment: spec flows: %w", err)
+			}
+			s.Flows = string(data)
+		} else {
+			s.Flows = ""
+		}
+	}
 	return s, nil
 }
 
@@ -332,6 +381,11 @@ func (s GridSpec) Note() string {
 	if topology, err := topo.Parse(s.Topo); err == nil {
 		if topology != nil && !topo.IsDumbbell(topology) {
 			note += ", topo=" + topology.ID()
+		}
+	}
+	if flowSpec, err := flows.Parse(s.Flows); err == nil {
+		if id := flowSpec.ID(); id != "" {
+			note += ", flows=" + id
 		}
 	}
 	if key, err := s.Key(); err == nil {

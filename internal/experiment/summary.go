@@ -55,6 +55,12 @@ func Summarize(results []Result) *Summary {
 		if r.Errored() {
 			continue
 		}
+		if r.Config.SoloFCT {
+			// Solo FCT baselines run no long-running flows: their sender
+			// throughput, fairness and utilization are not grid science.
+			// They exist only as the denominator of HarmFCTMatrix.
+			continue
+		}
 		k := CellKey{r.Config.Pairing, r.Config.AQM, r.Config.QueueBDP, r.Config.Bottleneck}
 		c := acc[k]
 		if c == nil {

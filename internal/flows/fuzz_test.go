@@ -1,0 +1,106 @@
+package flows
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzFlowSpecParse throws arbitrary workload specs at the parser. A spec
+// may be rejected, but an accepted one must be safe to hand to the
+// simulator: normalization is a fixed point, every population has a
+// positive sub-cap size range with p5 ≤ p95, a bounded arrival rate, and
+// a known CCA, and the spec's identity survives a JSON round trip — the
+// property the sweep's content-addressed result identity relies on.
+func FuzzFlowSpecParse(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"mice",
+		"elephants",
+		"mixed",
+		"mice+elephants+mice",
+		"mice:arrival=100ms,p95=1MB+elephants:cca=bbr1",
+		"mice:p5=64KB,p95=2MB,start=5s,max=100",
+		"mice:p5=0",
+		"mice:p5=0.2",
+		"mice:p95=NaN",
+		"mice:p95=Inf",
+		"mice:p95=-Inf",
+		"mice:p5=1e309",
+		"mice:p95=2000GB",
+		"mice:p5=4MB,p95=1MB",
+		"mice:arrival=1ns",
+		"mice:arrival=-1s",
+		"mice:max=-3",
+		"mixed:arrival=1s",
+		"mice:=,=",
+		"+",
+		"bogus",
+		`{"populations":[{"name":"web","mean_arrival_ns":100000000,"size_p5_bytes":2000,"size_p95_bytes":50000}]}`,
+		`{"populations":[{"size_p5_bytes":0}]}`,
+		`{"populations":[{"size_p5_bytes":-9223372036854775808,"size_p95_bytes":9223372036854775807}]}`,
+		`{"populations":[{"mean_arrival_ns":1}]}`,
+		`{"populations":[]}`,
+		"{",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if strings.HasPrefix(strings.TrimSpace(spec), "@") {
+			t.Skip("file specs read the filesystem")
+		}
+		s, err := Parse(spec)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Parse(%q) returned both a spec and %v", spec, err)
+			}
+			return
+		}
+		if s == nil {
+			return // blank spec
+		}
+		n := s.Normalize()
+		if again := n.Normalize(); !reflect.DeepEqual(n, again) {
+			t.Fatalf("Normalize not idempotent for %q:\n%+v\n%+v", spec, n, again)
+		}
+		if n.Empty() || len(n.Populations) > maxPopulations {
+			t.Fatalf("Parse(%q): population count %d escaped validation", spec, len(n.Populations))
+		}
+		for _, p := range n.Populations {
+			if p.SizeP5 < 1 || p.SizeP95 < p.SizeP5 || p.SizeP95 > maxFlowSize {
+				t.Fatalf("Parse(%q): %s: size range [%d, %d] escaped validation",
+					spec, p.Name, p.SizeP5, p.SizeP95)
+			}
+			if p.MeanArrival < minMeanArrival {
+				t.Fatalf("Parse(%q): %s: arrival %v escaped validation", spec, p.Name, p.MeanArrival)
+			}
+			if p.Start < 0 || p.MaxFlows < 0 {
+				t.Fatalf("Parse(%q): %s: negative start/max survived normalization", spec, p.Name)
+			}
+			// The percentile inversion must be finite for every accepted
+			// population — the sampler trusts this.
+			mu, sigma := LognormalParams(float64(p.SizeP5), float64(p.SizeP95))
+			if math.IsNaN(mu) || math.IsInf(mu, 0) || math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma < 0 {
+				t.Fatalf("Parse(%q): %s: degenerate lognormal (mu=%v sigma=%v)", spec, p.Name, mu, sigma)
+			}
+		}
+		if s.ID() != n.ID() {
+			t.Fatalf("Parse(%q): identity changes under normalization: %q vs %q", spec, s.ID(), n.ID())
+		}
+		// Specs travel inside checkpointed configs as JSON; identity must
+		// survive the round trip.
+		data, jerr := json.Marshal(&n)
+		if jerr != nil {
+			t.Fatalf("Parse(%q): spec does not marshal: %v", spec, jerr)
+		}
+		rt, rerr := Parse(string(data))
+		if rerr != nil {
+			t.Fatalf("Parse(%q): round trip rejected %s: %v", spec, data, rerr)
+		}
+		if rt.ID() != s.ID() {
+			t.Fatalf("Parse(%q): identity lost in JSON round trip: %q vs %q", spec, s.ID(), rt.ID())
+		}
+	})
+}

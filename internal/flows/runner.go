@@ -1,0 +1,220 @@
+// Runner drives a Spec inside a built network: it schedules each
+// population's Poisson arrivals on the engine, opens an ephemeral TCP
+// flow per arrival, and on completion records the FCT into bounded
+// per-size-class percentile sketches and releases the flow's resources.
+package flows
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/cca"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// SizeClass buckets flows by transfer size for per-class FCT reporting.
+// Thresholds are fixed (not data-dependent) so the class of a flow is a
+// property of the flow alone: small ≤ 256KB, medium ≤ 4MB, large above.
+type SizeClass int
+
+const (
+	ClassAll SizeClass = iota
+	ClassSmall
+	ClassMedium
+	ClassLarge
+	NumSizeClasses
+)
+
+const (
+	SmallMax  = 256 * units.Kilobyte
+	MediumMax = 4 * units.Megabyte
+)
+
+// ClassOf returns the size class of a transfer.
+func ClassOf(size int64) SizeClass {
+	switch {
+	case size <= int64(SmallMax):
+		return ClassSmall
+	case size <= int64(MediumMax):
+		return ClassMedium
+	default:
+		return ClassLarge
+	}
+}
+
+func (c SizeClass) String() string {
+	switch c {
+	case ClassAll:
+		return "all"
+	case ClassSmall:
+		return "small"
+	case ClassMedium:
+		return "medium"
+	case ClassLarge:
+		return "large"
+	}
+	return "invalid"
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Seed is the experiment seed; each population derives its own RNG
+	// stream from it (see Process).
+	Seed uint64
+	// Horizon stops scheduling arrivals at this simulation time
+	// (normally the run duration). Flows opened before the horizon that
+	// have not completed by the end of the run count as still open.
+	Horizon time.Duration
+	// TCP is the base connection config shared with the long-running
+	// flows (ECN, delayed ACKs, MSS); LimitBytes is set per flow.
+	TCP tcp.Config
+}
+
+// Runner owns every ephemeral flow of one run. It is engine-single-
+// threaded like everything else in a simulation.
+type Runner struct {
+	eng  *sim.Engine
+	net  *topo.Network
+	aud  *audit.Auditor
+	opts Options
+	pops []runnerPop
+
+	sketches   [NumSizeClasses]*metrics.FCTSketch
+	classBytes [NumSizeClasses]int64
+	opened     int
+	completed  int
+	rr         int // round-robin sender-class cursor
+}
+
+type runnerPop struct {
+	proc *Process
+	cc   cca.Name
+}
+
+// NewRunner builds a runner for spec on a built network. The spec is
+// normalized and validated; population order fixes RNG stream derivation.
+// When the engine carries an auditor, the runner feeds the dynamic-flow
+// lifecycle ledger and registers an end-of-run consistency check.
+func NewRunner(eng *sim.Engine, net *topo.Network, spec *Spec, opts Options) (*Runner, error) {
+	n := spec.Normalize()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if n.Empty() {
+		return nil, fmt.Errorf("flows: empty spec")
+	}
+	r := &Runner{eng: eng, net: net, aud: eng.Auditor(), opts: opts}
+	for i := range r.sketches {
+		r.sketches[i] = metrics.NewFCTSketch()
+	}
+	for pi, pop := range n.Populations {
+		name, err := cca.Parse(string(pop.CCA))
+		if err != nil {
+			return nil, fmt.Errorf("flows: %s: %w", pop.Name, err)
+		}
+		r.pops = append(r.pops, runnerPop{proc: NewProcess(opts.Seed, pi, pop), cc: name})
+	}
+	if r.aud != nil {
+		r.aud.OnFinish("flows", "lifecycle", r.checkLifecycle)
+	}
+	return r, nil
+}
+
+// Start schedules the first arrival of every population. Must be called
+// before the engine runs (arrivals are absolute times from t=0).
+func (r *Runner) Start() {
+	for i := range r.pops {
+		r.scheduleNext(&r.pops[i])
+	}
+}
+
+// scheduleNext pulls one arrival from the population's process and
+// schedules it, unless the process is exhausted or past the horizon.
+func (r *Runner) scheduleNext(p *runnerPop) {
+	at, size, ok := p.proc.Next()
+	if !ok || at >= r.opts.Horizon {
+		return
+	}
+	delay := at - time.Duration(r.eng.Now())
+	if delay < 0 {
+		delay = 0 // arrival time already passed (burst): open immediately
+	}
+	r.eng.Schedule(delay, func() {
+		r.open(p, size)
+		r.scheduleNext(p)
+	})
+}
+
+// open attaches one ephemeral flow and starts its transfer. Sender
+// classes are assigned round-robin so multi-class topologies spread the
+// background load deterministically.
+func (r *Runner) open(p *runnerPop, size int64) {
+	tcpCfg := r.opts.TCP
+	tcpCfg.LimitBytes = size
+	ci := r.rr % r.net.NumClasses()
+	r.rr++
+	f := r.net.AddEphemeralFlow(ci, tcpCfg, cca.MustNew(p.cc))
+	r.opened++
+	if r.aud != nil {
+		r.aud.FlowOpened()
+	}
+	openedAt := r.eng.Now()
+	f.Conn.Trace().FlowOpen(int64(openedAt), size)
+	f.Conn.OnDone(func(*tcp.Conn) { r.complete(f, openedAt, size) })
+	f.Conn.Start()
+}
+
+// complete records the finished transfer and releases the flow. Packets
+// of the flow still in flight (duplicate ACKs, stale retransmits) drain
+// through the demux unknown-flow path, so the conservation ledger stays
+// settled.
+func (r *Runner) complete(f *topo.Flow, openedAt sim.Time, size int64) {
+	fct := time.Duration(r.eng.Now() - openedAt)
+	r.sketches[ClassAll].Record(fct)
+	r.classBytes[ClassAll] += size
+	c := ClassOf(size)
+	r.sketches[c].Record(fct)
+	r.classBytes[c] += size
+	r.completed++
+	if r.aud != nil {
+		r.aud.FlowClosed()
+	}
+	f.Conn.Trace().FlowComplete(int64(r.eng.Now()), int64(fct), size)
+	r.net.ReleaseFlow(f)
+}
+
+// checkLifecycle is the end-of-run audit invariant: the runner's own
+// open/complete counters must agree with the auditor's lifecycle ledger,
+// and no flow may complete more than once.
+func (r *Runner) checkLifecycle() error {
+	if r.completed > r.opened {
+		return fmt.Errorf("%d completions for %d opened flows", r.completed, r.opened)
+	}
+	if got, want := r.aud.FlowsOpened(), int64(r.opened); got != want {
+		return fmt.Errorf("auditor saw %d flow opens, runner opened %d", got, want)
+	}
+	if got, want := r.aud.FlowsClosed(), int64(r.completed); got != want {
+		return fmt.Errorf("auditor saw %d flow closes, runner completed %d", got, want)
+	}
+	return nil
+}
+
+// Opened returns how many flows arrived and were attached.
+func (r *Runner) Opened() int { return r.opened }
+
+// Completed returns how many flows finished their transfer.
+func (r *Runner) Completed() int { return r.completed }
+
+// Open returns how many flows were still transferring at the end.
+func (r *Runner) Open() int { return r.opened - r.completed }
+
+// Sketch returns the FCT sketch of one size class.
+func (r *Runner) Sketch(c SizeClass) *metrics.FCTSketch { return r.sketches[c] }
+
+// ClassBytes returns the completed payload bytes of one size class.
+func (r *Runner) ClassBytes(c SizeClass) int64 { return r.classBytes[c] }

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestFCTSketchBuckets: every value maps into range, bucket edges are
+// consistent (the representative of a value's bucket is within one bucket
+// width), and the relative width bound holds.
+func TestFCTSketchBuckets(t *testing.T) {
+	vals := []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1e6, 1e9, 1e12, math.MaxInt64 / 2, math.MaxInt64}
+	for _, v := range vals {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= fctBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", v, idx, fctBuckets)
+		}
+		mid := bucketMid(idx)
+		if v < 1<<subBits {
+			if mid != v {
+				t.Fatalf("exact bucket %d: representative %d != value %d", idx, mid, v)
+			}
+			continue
+		}
+		relErr := math.Abs(float64(mid)-float64(v)) / float64(v)
+		if relErr > 1.0/128 {
+			t.Errorf("bucketOf(%d): representative %d off by %.4f%% (> 1/128)", v, mid, relErr*100)
+		}
+	}
+	// Monotone: bucket indices never decrease with the value.
+	prev := -1
+	for v := int64(1); v > 0 && v < 1<<40; v *= 3 {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// TestFCTSketchErrorBound: record 10⁵ synthetic flow completion times from
+// a lognormal-shaped distribution and bound the sketch quantiles against
+// the exact order statistics at ≤ 2% relative error (the design bound is
+// 1/128 ≈ 0.8%; 2% leaves margin for the rank-definition half-bucket).
+func TestFCTSketchErrorBound(t *testing.T) {
+	const n = 100_000
+	rng := sim.NewRNG(42)
+	s := NewFCTSketch()
+	exact := make([]int64, 0, n)
+	var sum int64
+	for i := 0; i < n; i++ {
+		// Box–Muller normal → lognormal centered near 100ms in ns.
+		u1, u2 := 1-rng.Float64(), rng.Float64()
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		v := int64(math.Exp(math.Log(100e6) + 0.8*z))
+		exact = append(exact, v)
+		sum += v
+		s.Record(time.Duration(v))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d", s.Count(), n)
+	}
+	if got := s.Min(); int64(got) != exact[0] {
+		t.Errorf("min = %d, want exact %d", got, exact[0])
+	}
+	if got := s.Max(); int64(got) != exact[n-1] {
+		t.Errorf("max = %d, want exact %d", got, exact[n-1])
+	}
+	if got := s.Mean(); int64(got) != sum/n {
+		t.Errorf("mean = %d, want exact %d", got, sum/n)
+	}
+
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(q * n))
+		if rank < 1 {
+			rank = 1
+		}
+		want := float64(exact[rank-1])
+		got := float64(s.Quantile(q))
+		relErr := math.Abs(got-want) / want
+		if relErr > 0.02 {
+			t.Errorf("q=%.3f: sketch %v vs exact %v — relative error %.3f%% > 2%%",
+				q, time.Duration(got), time.Duration(want), relErr*100)
+		}
+	}
+}
+
+// TestFCTSketchDeterminism: the same multiset recorded in a different
+// order yields identical quantiles — the sketch is order-free integer
+// arithmetic, which is what makes Result bytes worker-count independent.
+func TestFCTSketchDeterminism(t *testing.T) {
+	vals := []time.Duration{
+		5 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+		1 * time.Second, 250 * time.Microsecond, 3 * time.Second,
+	}
+	a, b := NewFCTSketch(), NewFCTSketch()
+	for _, v := range vals {
+		a.Record(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Record(vals[i])
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("q=%.2f: %v != %v across insertion orders", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	if a.Mean() != b.Mean() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Errorf("summary stats differ across insertion orders")
+	}
+}
+
+func TestFCTSketchEmpty(t *testing.T) {
+	s := NewFCTSketch()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("empty sketch must report zeros: count=%d q50=%v mean=%v", s.Count(), s.Quantile(0.5), s.Mean())
+	}
+}
+
+func TestHarmFCT(t *testing.T) {
+	cases := []struct {
+		solo, workload, want float64
+	}{
+		{100, 100, 0},         // no slowdown, no harm
+		{100, 50, 0},          // faster under competition: clamped to 0
+		{100, 200, 0.5},       // doubled FCT: half the time is the competition's fault
+		{100, 1000, 0.9},      // 10×: harm → 1
+		{0, 100, math.Inf(1)}, // no baseline
+		{-5, 100, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := HarmFCT(c.solo, c.workload); got != c.want {
+			t.Errorf("HarmFCT(%g, %g) = %g, want %g", c.solo, c.workload, got, c.want)
+		}
+	}
+}

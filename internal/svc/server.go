@@ -406,6 +406,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	md := paper.Report(experiment.Summarize(results), paper.ReportOptions{
 		Note:           j.Spec.Note(),
 		IncludeFigures: r.URL.Query().Get("figures") != "0",
+		FCTMatrix:      experiment.HarmFCTMatrix(results),
 	})
 	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
 	w.Write([]byte(md))

@@ -82,6 +82,16 @@ func (r *Receiver) OnEvent(any) {
 	}
 }
 
+// Close retires the receiver when its flow is torn down mid-run: the
+// delayed-ACK timer is cancelled and any held acknowledgement is dropped
+// unsent. A held ACK has not touched the conservation ledger (ACKs are
+// only counted as created in sendAck), so closing leaves the ledger
+// settled. Stats accessors stay valid after Close.
+func (r *Receiver) Close() {
+	r.hasPending = false
+	r.delTimer.Stop()
+}
+
 // NewDelayedAckReceiver returns a receiver with delayed ACKs enabled.
 func NewDelayedAckReceiver(eng *sim.Engine, id packet.FlowID, header units.ByteSize, inject func(*packet.Packet)) *Receiver {
 	r := NewReceiver(eng, id, header, inject)

@@ -48,6 +48,8 @@ const (
 	KindMark            // Aux=reason (ECN), A=packet bytes, B=queue bytes at mark
 	KindHiWater         // A=queue bytes high-watermark, B=queue packets high-watermark
 	KindFault           // Aux=fault kind, A=value (rate bps, delay ns), B=packets drained
+	KindFlowOpen        // A=flow size bytes (open-loop workload arrival)
+	KindFlowDone        // A=completion time ns, B=flow size bytes
 	kindCount
 )
 
@@ -65,6 +67,8 @@ var kindNames = [kindCount]string{
 	KindMark:       "mark",
 	KindHiWater:    "hiwater",
 	KindFault:      "fault",
+	KindFlowOpen:   "flow_open",
+	KindFlowDone:   "flow_done",
 }
 
 func (k Kind) String() string {
@@ -346,6 +350,25 @@ func (f *FlowTracer) RTO(at int64, rtoNS int64, backoff int64) {
 		return
 	}
 	f.ring.put(Event{At: at, Flow: f.id, Kind: KindRTO, A: rtoNS, B: backoff})
+}
+
+// FlowOpen records an open-loop flow arrival with its transfer size.
+// Always recorded — arrivals are rare relative to packets and define the
+// workload timeline.
+func (f *FlowTracer) FlowOpen(at int64, sizeBytes int64) {
+	if f == nil {
+		return
+	}
+	f.ring.put(Event{At: at, Flow: f.id, Kind: KindFlowOpen, A: sizeBytes})
+}
+
+// FlowComplete records an open-loop flow finishing its transfer: the
+// completion time and the bytes moved. Always recorded.
+func (f *FlowTracer) FlowComplete(at int64, fctNS, sizeBytes int64) {
+	if f == nil {
+		return
+	}
+	f.ring.put(Event{At: at, Flow: f.id, Kind: KindFlowDone, A: fctNS, B: sizeBytes})
 }
 
 // PortTracer records one port's queue dynamics into its ring. Methods are

@@ -332,6 +332,40 @@ func combinedLoss(l LinkSpec, par Params) float64 {
 // demux registrations at every divergence point along both routes. The
 // flow is not started; call Flow.Conn.Start (or schedule it).
 func (n *Network) AddFlow(ci int, tcpCfg tcp.Config, cc tcp.CongestionControl) *Flow {
+	f := n.attach(ci, tcpCfg, cc)
+	n.classes[ci].flows = append(n.classes[ci].flows, f)
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// AddEphemeralFlow attaches a short-lived flow to class ci — same wiring
+// and flow-ID sequence as AddFlow, but the flow is not recorded in the
+// class or network flow lists: class goodput, retransmit totals, and
+// fairness indices stay scoped to the long-running flows, and the caller
+// (the open-loop workload runner) owns the flow's lifecycle and must
+// ReleaseFlow it when done.
+func (n *Network) AddEphemeralFlow(ci int, tcpCfg tcp.Config, cc tcp.CongestionControl) *Flow {
+	return n.attach(ci, tcpCfg, cc)
+}
+
+// ReleaseFlow detaches a flow attached by AddEphemeralFlow: its demux
+// registrations along both routes are removed, the sender's timers are
+// cancelled, and the receiver is closed. Packets of the flow still in
+// flight drain to the demux unknown-flow path (consumed + released), so
+// the audit ledger settles no matter when in the transfer this is called.
+func (n *Network) ReleaseFlow(f *Flow) {
+	cl := n.classes[f.Sender]
+	for _, h := range cl.fwdHops {
+		h.d.Unregister(f.ID)
+	}
+	for _, h := range cl.retHops {
+		h.d.Unregister(f.ID)
+	}
+	f.Conn.Stop()
+	f.Rcv.Close()
+}
+
+func (n *Network) attach(ci int, tcpCfg tcp.Config, cc tcp.CongestionControl) *Flow {
 	if ci < 0 || ci >= len(n.classes) {
 		panic(fmt.Sprintf("topo: sender class must be 0..%d, got %d", len(n.classes)-1, ci))
 	}
@@ -362,10 +396,7 @@ func (n *Network) AddFlow(ci int, tcpCfg tcp.Config, cc tcp.CongestionControl) *
 		}
 	}
 
-	f := &Flow{ID: id, Sender: ci, Conn: conn, Rcv: rcv, CCName: cc.Name()}
-	cl.flows = append(cl.flows, f)
-	n.flows = append(n.flows, f)
-	return f
+	return &Flow{ID: id, Sender: ci, Conn: conn, Rcv: rcv, CCName: cc.Name()}
 }
 
 // NumClasses returns how many sender classes the spec declares.

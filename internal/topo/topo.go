@@ -81,6 +81,11 @@ func NewDemux() *Demux { return &Demux{m: make(map[packet.FlowID]netem.Receiver)
 // Register binds a flow to an endpoint.
 func (d *Demux) Register(id packet.FlowID, r netem.Receiver) { d.m[id] = r }
 
+// Unregister removes a flow's binding. Packets for the flow still in
+// flight fall to the unknown-flow path in Receive (consumed + released),
+// so tearing a flow down mid-run keeps the conservation ledger settled.
+func (d *Demux) Unregister(id packet.FlowID) { delete(d.m, id) }
+
 // Receive implements netem.Receiver.
 func (d *Demux) Receive(now sim.Time, p *packet.Packet) {
 	if r, ok := d.m[p.Flow]; ok {

@@ -1,0 +1,102 @@
+#!/bin/sh
+# smoke-fct: end-to-end check of the open-loop FCT workload (make smoke-fct).
+#
+# Sweeps a small mixed mice grid — two pairings across two AQMs with the
+# invariant auditor on — directly and through a sweepd daemon, then proves
+# the FCT contract:
+#
+#   1. the -flows grid auto-appends one solo baseline per condition, and
+#      every result (competition and solo) carries per-size-class FCT
+#      percentiles;
+#   2. the served sweep is byte-identical to the direct CLI run of the same
+#      spec (modulo wall_ns) — dynamic flow churn does not break the
+#      determinism contract across the service boundary;
+#   3. cmd/report renders the solo-vs-competition harm-to-FCT matrix from
+#      the result set, and the daemon's /report endpoint renders the same
+#      section.
+#
+# Nonzero exit on any mismatch.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke-fct: FAIL: $*" >&2
+    [ -f "$tmp/sweepd.log" ] && sed 's/^/smoke-fct: sweepd: /' "$tmp/sweepd.log" >&2
+    exit 1
+}
+
+# 2 pairings × 2 AQMs of competition plus 2 auto-appended solo baselines
+# (one per AQM: baselines dedupe across pairings).
+SPEC="-bws 100Mbps -queues 2 -aqms fifo,fq_codel -pairings cubic:cubic,bbr1:cubic -duration 4s -flows mice -audit"
+
+echo "smoke-fct: building sweep, sweepd and report" >&2
+$GO build -o "$tmp/sweep" ./cmd/sweep
+$GO build -o "$tmp/sweepd" ./cmd/sweepd
+$GO build -o "$tmp/report" ./cmd/report
+
+echo "smoke-fct: direct CLI sweep with -flows mice" >&2
+"$tmp/sweep" $SPEC -quiet -strict -out "$tmp/direct.json" >/dev/null
+
+solos=$(grep -c '"solo_fct": *true' "$tmp/direct.json") ||
+    fail "no solo baselines in the -flows sweep"
+[ "$solos" = "2" ] || fail "expected 2 solo baselines (one per AQM), got $solos"
+fcts=$(grep -c '"fct":' "$tmp/direct.json") ||
+    fail "no FCT blocks in the results"
+[ "$fcts" = "6" ] || fail "expected FCT data on all 6 results, got $fcts"
+for class in '"class": *"all"' '"class": *"small"' '"class": *"medium"'; do
+    grep -q "$class" "$tmp/direct.json" ||
+        fail "per-size-class FCT percentiles missing ($class)"
+done
+grep -q '"p99_ns"' "$tmp/direct.json" || fail "FCT percentiles missing p99"
+
+echo "smoke-fct: served sweep via sweepd" >&2
+"$tmp/sweepd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -journal "$tmp/journal.ckpt.jsonl" -audit 2>"$tmp/sweepd.log" &
+pid=$!
+i=0
+while [ ! -f "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not come up"
+    sleep 0.1
+done
+base="http://$(cat "$tmp/addr")"
+# Submit via the CLI client and read the job id off its progress banner
+# ("sweep: remote job <id> on <base>: ...").
+job=$("$tmp/sweep" $SPEC -quiet -strict -remote "$base" -out "$tmp/served.json" 2>&1 >/dev/null \
+    | tee "$tmp/remote.log" | sed -n 's/.*remote job \([a-zA-Z0-9_-]*\) on.*/\1/p' | head -1)
+[ -n "$job" ] || fail "could not extract the job id from sweep -remote output"
+
+grep -v '"wall_ns"' "$tmp/direct.json" >"$tmp/direct.norm"
+grep -v '"wall_ns"' "$tmp/served.json" >"$tmp/served.norm"
+cmp -s "$tmp/direct.norm" "$tmp/served.norm" || {
+    diff "$tmp/direct.norm" "$tmp/served.norm" | head -40 >&2
+    fail "served FCT ResultSet differs from the direct CLI sweep"
+}
+
+echo "smoke-fct: harm-to-FCT matrix via cmd/report" >&2
+"$tmp/report" -in "$tmp/direct.json" -figures=false -out "$tmp/report.md" 2>/dev/null
+grep -q '^## Harm to flow completion time' "$tmp/report.md" ||
+    fail "cmd/report rendered no harm-to-FCT section"
+for pairing in 'CUBIC vs CUBIC' 'BBR1 vs CUBIC'; do
+    grep -q "$pairing" "$tmp/report.md" ||
+        fail "harm matrix missing pairing: $pairing"
+done
+
+echo "smoke-fct: harm-to-FCT matrix via the daemon /report endpoint" >&2
+curl -sf "$base/v1/sweeps/$job/report?figures=0" >"$tmp/served_report.md" ||
+    fail "daemon /report endpoint failed"
+grep -q '^## Harm to flow completion time' "$tmp/served_report.md" ||
+    fail "daemon report rendered no harm-to-FCT section"
+
+echo "smoke-fct: OK (solo baselines appended, per-class FCT percentiles, served = direct, harm matrix rendered by CLI and daemon)" >&2
