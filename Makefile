@@ -50,6 +50,17 @@
 #                     auto-appended, per-size-class FCT percentiles in every
 #                     result, and the harm-to-FCT matrix rendered by both
 #                     cmd/report and the daemon's /report endpoint
+#   make smoke-obs  — end-to-end fairness-observatory check
+#                     (scripts/smoke_obs.sh): tcpfair -fairness prints a
+#                     finite convergence time for a homogeneous CUBIC pair
+#                     and exactly one starvation episode (cubic victim, bbr1
+#                     culprit) for BBRv1-vs-CUBIC in a 4xBDP FIFO; a
+#                     fairness-armed sweep stays byte-identical science to a
+#                     plain one; sweepd's /fairness stream matches the local
+#                     `sweep -fairness-out` NDJSON byte for byte; the
+#                     convergence histogram and build_info gauge appear on
+#                     /metrics; cmd/report renders the fairness-dynamics
+#                     table and cmd/timeline the jain(t) sparkline
 #   make trace-smoke— end-to-end flight-recorder check (scripts/smoke_trace.sh):
 #                     tcpfair -telemetry-out records a run, cmd/timeline
 #                     renders cwnd + queue-occupancy timelines from it,
@@ -61,17 +72,18 @@
 #   make bench      — engine micro-benchmarks (0 allocs/op on reuse paths)
 #   make bench-save — record the benchmark trajectories (events/sec,
 #                     ns/event, allocs/packet) into BENCH_topo.json (dumbbell
-#                     and a 3-hop parking lot) and BENCH_fct.json (open-loop
-#                     mice churn, competition and solo); run on a quiet host
+#                     and a 3-hop parking lot), BENCH_fct.json (open-loop
+#                     mice churn, competition and solo) and BENCH_obs.json
+#                     (fairness observatory off vs armed); run on a quiet host
 #   make bench-gate — replay the trajectory and fail on regression: allocs
 #                     strictly, speed within a 5× host-variance tolerance
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc smoke-cluster smoke-chaos smoke-fct trace-smoke fuzz-smoke bench bench-save bench-gate
+.PHONY: ci lint vet build test allocs audit resilience smoke smoke-svc smoke-cluster smoke-chaos smoke-fct smoke-obs trace-smoke fuzz-smoke bench bench-save bench-gate
 
-ci: lint build test allocs bench-gate audit resilience smoke smoke-svc smoke-cluster smoke-chaos smoke-fct trace-smoke fuzz-smoke
+ci: lint build test allocs bench-gate audit resilience smoke smoke-svc smoke-cluster smoke-chaos smoke-fct smoke-obs trace-smoke fuzz-smoke
 
 lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
@@ -119,6 +131,9 @@ smoke-chaos:
 smoke-fct:
 	GO="$(GO)" sh scripts/smoke_fct.sh
 
+smoke-obs:
+	GO="$(GO)" sh scripts/smoke_obs.sh
+
 trace-smoke:
 	GO="$(GO)" sh scripts/smoke_trace.sh
 
@@ -136,7 +151,7 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkTimer' -benchmem ./internal/sim/
 
 bench-save:
-	BENCH_SAVE=1 $(GO) test -run 'TestBenchTopoTrajectory|TestBenchFCTTrajectory' -v .
+	BENCH_SAVE=1 $(GO) test -run 'TestBenchTopoTrajectory|TestBenchFCTTrajectory|TestBenchObsTrajectory' -v .
 
 bench-gate:
-	$(GO) test -run 'TestBenchTopoTrajectory|TestBenchFCTTrajectory' -v .
+	$(GO) test -run 'TestBenchTopoTrajectory|TestBenchFCTTrajectory|TestBenchObsTrajectory' -v .

@@ -267,6 +267,83 @@ func TestAllocGuardOpenLoop(t *testing.T) {
 	}
 }
 
+// TestAllocGuardFairnessSampling: the fairness observatory rides inside the
+// per-packet budget. Its timer tick reads two cumulative counters per flow
+// and appends to series preallocated for the whole run horizon, so an armed
+// sampler adds only its one-time setup — amortized to noise over the run's
+// half-million forwarded segments — and the steady state must hold the same
+// ≤ 1 alloc per forwarded data packet as the baseline.
+func TestAllocGuardFairnessSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2s of traffic; skipped in -short mode")
+	}
+	cfg := allocGuardConfig()
+	cfg.Fairness = true
+	cfg.FairnessWindow = 10 * time.Millisecond // 10× the default cadence
+
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+	if last.Fairness == nil || last.Fairness.Windows < 100 {
+		t.Fatalf("fairness observatory inactive during alloc guard: %+v", last.Fairness)
+	}
+
+	goodputBytes := (last.SenderBps[0] + last.SenderBps[1]) * cfg.Duration.Seconds() / 8
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+	perPacket := allocs / segments
+	t.Logf("allocs/run = %.0f over %.0f segments (%d windows sampled) → %.3f allocs per forwarded data packet",
+		allocs, segments, last.Fairness.Windows, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("fairness sampling allocation regression: %.3f allocs per forwarded data packet "+
+			"(budget ≤ 1; the windowed series must be preallocated for the horizon)", perPacket)
+	}
+}
+
+// TestAllocGuardFairnessDisabled: with the observatory off — even with the
+// window knob set, proving it alone arms nothing — no sampler or timer is
+// installed at all and the budget is exactly the baseline's ≤ 1.
+func TestAllocGuardFairnessDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2s of traffic; skipped in -short mode")
+	}
+	cfg := allocGuardConfig()
+	cfg.Fairness = false
+	cfg.FairnessWindow = 10 * time.Millisecond // ignored while Fairness is false
+
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+	if last.Fairness != nil {
+		t.Fatalf("fairness report present with the observatory off")
+	}
+
+	goodputBytes := (last.SenderBps[0] + last.SenderBps[1]) * cfg.Duration.Seconds() / 8
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+	perPacket := allocs / segments
+	t.Logf("allocs/run = %.0f over %.0f segments → %.3f allocs per forwarded data packet",
+		allocs, segments, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("disabled fairness observatory is not free: %.3f allocs per forwarded data packet "+
+			"(budget ≤ 1, identical to the pre-observatory baseline)", perPacket)
+	}
+}
+
 // TestAllocGuardParkingLot: the graph builder's multi-bottleneck path —
 // demux fan-out at divergent links, per-hop sender classes, three AQM
 // instances in series — must hold the same steady-state budget as the

@@ -1,0 +1,152 @@
+//go:build !race
+
+// Benchmark-trajectory gate for the fairness observatory: BENCH_obs.json
+// pins the cost of running the windowed sampler alongside the steady-state
+// dumbbell — event throughput, per-packet allocation budget, and the window
+// count the 10 ms cadence produces. The paired plain/armed entries make the
+// observatory's overhead visible in review: arming must stay within the
+// same ≤1 alloc/packet budget as the plain path. `make bench-save`
+// refreshes the file; `make ci` replays the measurement and fails on
+// regression, allocations strictly and speed loosely (see
+// bench_topo_test.go for the rationale behind the loose speed gate).
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+const benchObsFile = "BENCH_obs.json"
+
+type benchObsEntry struct {
+	Workload        string  `json:"workload"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	NsPerEvent      float64 `json:"ns_per_event"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	Windows         int     `json:"windows"`
+}
+
+func benchObsConfigs() map[string]experiment.Config {
+	plain := allocGuardConfig()
+	armed := allocGuardConfig()
+	armed.Fairness = true
+	armed.FairnessWindow = 10 * time.Millisecond
+	return map[string]experiment.Config{
+		"dumbbell-plain": plain,
+		"dumbbell-obs":   armed,
+	}
+}
+
+// measureBenchObs runs one workload configuration, reporting event
+// throughput, allocation rate per delivered data segment, and the number of
+// fairness windows sampled (zero for the plain baseline).
+func measureBenchObs(t *testing.T, cfg experiment.Config) benchObsEntry {
+	t.Helper()
+	var last experiment.Result
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	})
+	goodputBytes := (last.SenderBps[0] + last.SenderBps[1]) * cfg.Duration.Seconds() / 8
+	segments := goodputBytes / 8900
+	if segments < 500 {
+		t.Fatalf("implausibly few segments delivered: %.0f", segments)
+	}
+	windows := 0
+	if last.Fairness != nil {
+		windows = last.Fairness.Windows
+	}
+	if cfg.Fairness && windows < 100 {
+		t.Fatalf("sampler inactive: %d windows over %v at %v cadence",
+			windows, cfg.Duration, cfg.FairnessWindow)
+	}
+
+	start := time.Now()
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	return benchObsEntry{
+		EventsPerSec:    float64(res.Events) / wall.Seconds(),
+		NsPerEvent:      float64(wall.Nanoseconds()) / float64(res.Events),
+		AllocsPerPacket: allocs / segments,
+		Windows:         windows,
+	}
+}
+
+// TestBenchObsTrajectory is both the recorder and the gate, exactly like
+// TestBenchFCTTrajectory: BENCH_SAVE=1 rewrites BENCH_obs.json, otherwise
+// the checked-in trajectory gates the measurement.
+func TestBenchObsTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates seconds of traffic; skipped in -short mode")
+	}
+	cfgs := benchObsConfigs()
+	names := []string{"dumbbell-plain", "dumbbell-obs"}
+
+	if os.Getenv("BENCH_SAVE") == "1" {
+		var entries []benchObsEntry
+		for _, name := range names {
+			e := measureBenchObs(t, cfgs[name])
+			e.Workload = name
+			t.Logf("%s: %.0f events/sec, %.1f ns/event, %.3f allocs/pkt, %d windows",
+				name, e.EventsPerSec, e.NsPerEvent, e.AllocsPerPacket, e.Windows)
+			entries = append(entries, e)
+		}
+		data, err := json.MarshalIndent(entries, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchObsFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("saved trajectory to %s", benchObsFile)
+		return
+	}
+
+	data, err := os.ReadFile(benchObsFile)
+	if err != nil {
+		t.Fatalf("no benchmark trajectory (%v); record one with `make bench-save`", err)
+	}
+	var saved []benchObsEntry
+	if err := json.Unmarshal(data, &saved); err != nil {
+		t.Fatalf("corrupt %s: %v", benchObsFile, err)
+	}
+	byName := map[string]benchObsEntry{}
+	for _, e := range saved {
+		byName[e.Workload] = e
+	}
+	for _, name := range names {
+		want, ok := byName[name]
+		if !ok {
+			t.Errorf("%s missing from %s; re-record with `make bench-save`", name, benchObsFile)
+			continue
+		}
+		got := measureBenchObs(t, cfgs[name])
+		t.Logf("%s: %.0f events/sec (saved %.0f), %.3f allocs/pkt (saved %.3f), %d windows (saved %d)",
+			name, got.EventsPerSec, want.EventsPerSec,
+			got.AllocsPerPacket, want.AllocsPerPacket, got.Windows, want.Windows)
+		// The window count is seed- and cadence-determined: drift means the
+		// sampler's timing or the run's horizon changed.
+		if got.Windows != want.Windows {
+			t.Errorf("%s: window count drifted: %d, saved %d (sampler cadence broken?)",
+				name, got.Windows, want.Windows)
+		}
+		if got.AllocsPerPacket > want.AllocsPerPacket+0.05 {
+			t.Errorf("%s: allocs/packet regressed: %.3f > saved %.3f",
+				name, got.AllocsPerPacket, want.AllocsPerPacket)
+		}
+		if got.EventsPerSec < want.EventsPerSec/5 {
+			t.Errorf("%s: event throughput collapsed: %.0f events/sec vs saved %.0f (>5× slower)",
+				name, got.EventsPerSec, want.EventsPerSec)
+		}
+	}
+}

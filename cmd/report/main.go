@@ -49,6 +49,7 @@ func main() {
 		Note:           strings.Join(notes, "; "),
 		IncludeFigures: *figures,
 		FCTMatrix:      experiment.HarmFCTMatrix(all),
+		FairnessTable:  experiment.FairnessTable(all),
 	})
 	if *out == "-" {
 		fmt.Print(md)

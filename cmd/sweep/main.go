@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +46,7 @@ func main() {
 		remote       = flag.String("remote", "", "submit the spec to a sweepd daemon at this base URL instead of simulating locally")
 		printMetrics = flag.Bool("print-metrics", false, "after a -remote sweep, fetch the daemon's /metrics and print it to stdout")
 		traceDir     = flag.String("trace-dir", "", "record flight-recorder telemetry for every configuration and write one <Config.Key()>.trace.ndjson per result into this directory (local mode only; reruns overwrite deterministically)")
+		fairOut      = flag.String("fairness-out", "", "write the per-config fairness reports as NDJSON to this path (implies -fairness; same line shape as sweepd's /v1/sweeps/{id}/fairness; local mode only)")
 		failpoints   = flag.String("failpoints", os.Getenv("FAILPOINTS"),
 			"arm fault-injection points for durability testing, e.g. 'checkpoint.fsync=err(disk full)@hit=2' (default $FAILPOINTS)")
 	)
@@ -83,6 +85,13 @@ func main() {
 		// caches still apply).
 		for i := range cfgs {
 			cfgs[i].Trace = true
+		}
+	}
+	if *fairOut != "" {
+		// Same deal as tracing: the observatory is observation-only and
+		// excluded from Config.Key().
+		for i := range cfgs {
+			cfgs[i].Fairness = true
 		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d configurations\n", len(cfgs))
@@ -156,6 +165,11 @@ func main() {
 
 	if *traceDir != "" {
 		if err := writeTraces(*traceDir, results); err != nil {
+			fatal(err)
+		}
+	}
+	if *fairOut != "" {
+		if err := writeFairness(*fairOut, results); err != nil {
 			fatal(err)
 		}
 	}
@@ -273,6 +287,38 @@ func writeTraces(dir string, results []experiment.Result) error {
 		n++
 	}
 	fmt.Fprintf(os.Stderr, "sweep: wrote %d telemetry traces to %s\n", n, dir)
+	return nil
+}
+
+// writeFairness writes the per-config fairness reports as NDJSON in grid
+// order, one experiment.FairnessLine per fairness-armed result — the same
+// byte shape sweepd's GET /v1/sweeps/{id}/fairness streams, so a local run
+// and a daemon round-trip of the same spec diff clean. Checkpoint-skipped
+// results from a fairness-off journal carry no report and are silently
+// absent.
+func writeFairness(path string, results []experiment.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	n := 0
+	for i := range results {
+		r := &results[i]
+		if r.Fairness == nil {
+			continue
+		}
+		line := experiment.FairnessLine{Config: r.Config.Key(), ID: r.Config.ID(), Fairness: r.Fairness}
+		if err := enc.Encode(line); err != nil {
+			f.Close()
+			return err
+		}
+		n++
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: wrote %d fairness reports to %s\n", n, path)
 	return nil
 }
 

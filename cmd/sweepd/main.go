@@ -33,8 +33,12 @@
 //	GET  /v1/sweeps/{id}/report  paper-vs-measured markdown (cmd/report path)
 //	GET  /v1/sweeps/{id}/trace   per-config telemetry NDJSON (needs -trace;
 //	                             ?config=<key> narrows to one configuration)
+//	GET  /v1/sweeps/{id}/fairness per-config fairness-observatory reports as
+//	                             NDJSON (needs -fairness or fairness in the
+//	                             spec; ?config=<key> narrows to one)
 //	GET  /metrics                Prometheus text format (histograms of
-//	                             per-config wall time and event rate, plus
+//	                             per-config wall time, event rate, and
+//	                             fairness convergence time, plus
 //	                             sweepd_cluster_* lease counters with
 //	                             -coordinator)
 //	GET  /debug/pprof/           Go profiler (only with -pprof)
@@ -93,7 +97,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "worker-pool shards, or parallel simulations with -join (0 = GOMAXPROCS)")
 		auditRun = flag.Bool("audit", false, "arm the runtime invariant auditor on every simulated configuration")
 		traceRun = flag.Bool("trace", false, "record flight-recorder telemetry for every simulated configuration (serves /v1/sweeps/{id}/trace)")
+		fairRun  = flag.Bool("fairness", false, "arm the fairness observatory on every simulated configuration (serves /v1/sweeps/{id}/fairness)")
 		pprofOn  = flag.Bool("pprof", false, "mount the Go profiler at /debug/pprof/ (exposes internals; keep off on untrusted networks)")
+		logFmt   = flag.String("log-format", "text", "log encoding: text (key=value) or json (one object per line)")
 
 		coordinator = flag.Bool("coordinator", false, "cluster mode: lease configurations to joined workers instead of simulating locally")
 		join        = flag.String("join", "", "cluster mode: run as a worker for the coordinator at this URL (no local HTTP API)")
@@ -112,6 +118,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := svc.ConfigureLogging(*logFmt, os.Stderr); err != nil {
+		fatal(err)
+	}
 	if *failpoints != "" {
 		if err := failpoint.Enable(*failpoints); err != nil {
 			fatal(err)
@@ -147,7 +156,7 @@ func main() {
 	}
 
 	opts := svc.Options{Journal: *journal, Shards: *shards,
-		Audit: *auditRun, Trace: *traceRun, Pprof: *pprofOn}
+		Audit: *auditRun, Trace: *traceRun, Fairness: *fairRun, Pprof: *pprofOn}
 	if *coordinator {
 		opts.Cluster = &svc.ClusterOptions{LeaseTTL: *leaseTTL, Heartbeat: *heartbeat,
 			LeaseBatch: *leaseBatch, RetryBudget: *retryBudget, RequeueQuarantined: *requeueQ}
@@ -164,8 +173,8 @@ func main() {
 	if *coordinator {
 		mode = "coordinator"
 	}
-	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s (mode=%s journal=%s audit=%v trace=%v pprof=%v)\n",
-		ln.Addr(), mode, orNone(*journal), *auditRun, *traceRun, *pprofOn)
+	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s (mode=%s journal=%s audit=%v trace=%v fairness=%v pprof=%v)\n",
+		ln.Addr(), mode, orNone(*journal), *auditRun, *traceRun, *fairRun, *pprofOn)
 	if *addrFile != "" {
 		// Write-then-rename so a watching script never reads a torn address.
 		tmp := *addrFile + ".tmp"

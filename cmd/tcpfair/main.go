@@ -51,6 +51,8 @@ func main() {
 		telemOut    = flag.String("telemetry-out", "", "record flight-recorder telemetry and write it as NDJSON to this file (render with cmd/timeline)")
 		traceRing   = flag.Int("trace-ring", 0, "telemetry ring capacity in events per flow/port (0 = default; larger rings keep more history before overwriting)")
 		traceSample = flag.Int("trace-sample", 0, "keep 1-in-N of the high-frequency telemetry events (0 = keep all)")
+		fairRun     = flag.Bool("fairness", false, "arm the fairness observatory: windowed Jain(t)/share series, convergence time, starvation episodes")
+		fairWindow  = flag.Duration("fairness-window", 0, "fairness sampling window (0 = 100ms default; implies -fairness)")
 	)
 	flag.Parse()
 
@@ -104,6 +106,11 @@ func main() {
 		Audit:          *auditRun,
 		Flows:          workload,
 		SoloFCT:        *soloFCT,
+	}
+
+	if *fairRun || *fairWindow > 0 {
+		cfg.Fairness = true
+		cfg.FairnessWindow = *fairWindow
 	}
 
 	opts := core.RunOptions{TraceDir: *traceDir}
@@ -186,6 +193,36 @@ func main() {
 			fmt.Printf("  %-10s %10v  util %6.3f  drops %8d  peak %9d B  sojourn %v\n",
 				pt.Name, pt.RateBps, pt.Utilization, pt.Dropped, pt.PeakQueueBytes,
 				pt.SojournMean.Round(time.Microsecond))
+		}
+	}
+	if fr := res.Fairness; fr != nil {
+		fmt.Printf("\nfairness observatory (%v windows, %d samples):\n", fr.Window, fr.Windows)
+		fmt.Printf("  Jain(t)       final %.4f  mean %.4f  min %.4f\n",
+			fr.FinalJain, fr.MeanJain, fr.MinJain)
+		if fr.Converged {
+			fmt.Printf("  converged at  %v (Jain >= %.2f sustained %d windows)\n",
+				fr.ConvergenceTime, fr.Detector.JainThreshold, fr.Detector.SustainWindows)
+		} else {
+			fmt.Printf("  converged at  never (Jain never sustained %.2f for %d windows)\n",
+				fr.Detector.JainThreshold, fr.Detector.SustainWindows)
+		}
+		fmt.Printf("  time below %.2f  %v\n", fr.Detector.JainFloor, fr.TimeBelowFloor)
+		for _, ff := range fr.Flows {
+			ttf := "never"
+			if ff.ReachedFair {
+				ttf = ff.TimeToFair.String()
+			}
+			fmt.Printf("  flow %-3d %-6s share mean %.3f final %.3f  fair at %s\n",
+				ff.ID, ff.CCA, ff.MeanShare, ff.FinalShare, ttf)
+		}
+		fmt.Printf("  episodes: %d\n", len(fr.Episodes))
+		for _, ep := range fr.Episodes {
+			state := "resolved"
+			if !ep.Resolved {
+				state = "unresolved at end"
+			}
+			fmt.Printf("    flow %d (%s) starved %v-%v mean share %.3f culprits %v (%s)\n",
+				ep.FlowID, ep.CCA, ep.Start, ep.End, ep.MeanShare, ep.Culprits, state)
 		}
 	}
 	fmt.Printf("events          %10d in %v wall\n", res.Events, res.Wall.Round(time.Millisecond))

@@ -261,6 +261,7 @@ func renderPortRing(w io.Writer, r *telemetry.RingDump, t0, t1 int64, bins int) 
 		flows = append(flows, f)
 	}
 	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	perFlow := make([][]float64, 0, len(flows))
 	for _, f := range flows {
 		vals := binCount(r.Events, t0, t1, bins, func(e telemetry.Event) bool {
 			return e.Kind == telemetry.KindDequeue && e.Flow == f
@@ -268,9 +269,40 @@ func renderPortRing(w io.Writer, r *telemetry.RingDump, t0, t1 int64, bins int) 
 		if vals == nil {
 			continue
 		}
+		perFlow = append(perFlow, vals)
 		_, hi := minMax(vals)
 		fmt.Fprintf(w, "  deq f=%-3d %s  peak %.0f pkts/s\n", f, viz.Sparkline(vals), hi)
 	}
+	if vals := jainSeries(perFlow, bins); vals != nil {
+		lo, hi := minMax(vals)
+		fmt.Fprintf(w, "  jain(t)  %s  %.3f..%.3f over %d flows\n",
+			viz.Sparkline(vals), lo, hi, len(perFlow))
+	}
+}
+
+// jainSeries computes the Jain fairness index per time bin over the flows'
+// dequeue-rate series — the timeline's view of the fairness observatory's
+// Jain(t). Jain is scale-invariant, so packet rates stand in for shares.
+// Bins where no flow dequeued anything score 1 (an idle link is trivially
+// fair). Nil unless at least two flows competed.
+func jainSeries(perFlow [][]float64, bins int) []float64 {
+	if len(perFlow) < 2 {
+		return nil
+	}
+	vals := make([]float64, bins)
+	for i := 0; i < bins; i++ {
+		var sum, sumSq float64
+		for _, f := range perFlow {
+			sum += f[i]
+			sumSq += f[i] * f[i]
+		}
+		if sumSq == 0 {
+			vals[i] = 1
+			continue
+		}
+		vals[i] = sum * sum / (float64(len(perFlow)) * sumSq)
+	}
+	return vals
 }
 
 // countMap renders a reason-count map deterministically (sorted by reason).

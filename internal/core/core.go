@@ -78,6 +78,7 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	// to untraced ones wherever they serialize.
 	recCfg := cfg
 	recCfg.Trace, recCfg.TraceRingCap, recCfg.TraceSampleN = false, 0, 0
+	recCfg.Fairness, recCfg.FairnessWindow = false, 0
 	net, err := experiment.BuildNet(eng, cfg)
 	if err != nil {
 		return experiment.Result{}, fmt.Errorf("core: %w", err)
@@ -124,6 +125,7 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 		}
 		fr.Start()
 	}
+	fsam := experiment.AttachFairness(eng, net, cfg)
 
 	mon := net.Monitor()
 
@@ -240,6 +242,12 @@ func RunDetailed(cfg experiment.Config, opts RunOptions) (experiment.Result, err
 	}
 	if fr != nil {
 		res.FCT = experiment.FCTFromRunner(fr)
+	}
+	if fsam != nil {
+		res.Fairness = fsam.Report(metrics.DefaultDetector())
+		// The sampler's timer ticks executed on the engine; subtract them
+		// so the event-count fingerprint matches an observatory-off run.
+		res.Events -= fsam.Ticks()
 	}
 	if trc != nil {
 		res.Trace = trc.Dump()

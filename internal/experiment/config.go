@@ -142,6 +142,17 @@ type Config struct {
 	// enqueues/dequeues, RTT samples); 0 or 1 records them all. Drops,
 	// marks, state transitions, RTOs and faults are never sampled away.
 	TraceSampleN int `json:"trace_sample_n,omitempty"`
+	// Fairness arms the fairness observatory: fixed-cadence per-flow
+	// goodput windows feeding a windowed Jain(t) series, per-flow
+	// share-of-bottleneck series, windowed retransmit rate, and the
+	// convergence/starvation detectors reported in Result.Fairness. Like
+	// Audit and Trace it observes without altering the simulation, so it
+	// is excluded from Key.
+	Fairness bool `json:"fairness,omitempty"`
+	// FairnessWindow overrides the observatory's sampling window
+	// (0 = metrics.DefaultFairnessWindow, 100 ms). Observation-only,
+	// excluded from Key like the trace knobs.
+	FairnessWindow time.Duration `json:"fairness_window_ns,omitempty"`
 }
 
 // Normalize fills defaults, returning the effective configuration.
@@ -241,6 +252,8 @@ func (c Config) Key() string {
 	n.Trace = false
 	n.TraceRingCap = 0
 	n.TraceSampleN = 0
+	n.Fairness = false
+	n.FairnessWindow = 0
 	data, err := json.Marshal(n)
 	if err != nil { // Config is plain data; cannot happen
 		panic(err)

@@ -1,0 +1,254 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cca"
+	"repro/internal/units"
+)
+
+// TestFairnessByteIdenticalResults proves the observatory is
+// observation-only: the same configuration run with and without the
+// fairness sampler must produce byte-identical science — every serialized
+// field except the fairness block itself (and wall_ns, which measures the
+// machine). The fairness knobs are zeroed out of Config.Key() and scrubbed
+// from the recorded config, so an armed result is interchangeable with a
+// plain one everywhere: result files, the sweepd cache, checkpoint
+// journals.
+func TestFairnessByteIdenticalResults(t *testing.T) {
+	base := Config{
+		Pairing:    Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+		AQM:        aqm.KindFIFO,
+		QueueBDP:   2,
+		Bottleneck: 50 * units.MegabitPerSec,
+		Duration:   500 * time.Millisecond,
+	}
+
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armed := base
+	armed.Fairness = true
+	armed.FairnessWindow = 50 * time.Millisecond
+	res, err := Run(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fairness == nil {
+		t.Fatal("armed run returned no fairness report")
+	}
+	if res.Fairness.Windows < 8 {
+		t.Fatalf("windows = %d, want ~10 over 500ms at 50ms cadence", res.Fairness.Windows)
+	}
+
+	if plain.Config.Key() != res.Config.Key() {
+		t.Fatalf("fairness knobs leaked into the science key: %s != %s",
+			plain.Config.Key(), res.Config.Key())
+	}
+	if res.Config.Fairness || res.Config.FairnessWindow != 0 {
+		t.Fatalf("fairness knobs leaked into the recorded config: %+v", res.Config)
+	}
+
+	// After removing the fairness block (additive, like FCT) and the one
+	// legitimately nondeterministic field, the serialized results must
+	// match byte for byte — configs included.
+	plain.Wall, res.Wall = 0, 0
+	res.Fairness = nil
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fairness sampling changed the science bytes:\nplain: %s\narmed: %s", a, b)
+	}
+}
+
+// TestFairnessKnobsExcludedFromKey pins the identity contract directly:
+// flipping the observatory on, or changing its cadence, must not move the
+// science key — while any genuinely scientific field must.
+func TestFairnessKnobsExcludedFromKey(t *testing.T) {
+	base := Config{
+		Pairing:    Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+		AQM:        aqm.KindRED,
+		QueueBDP:   4,
+		Bottleneck: 100 * units.MegabitPerSec,
+		Duration:   2 * time.Second,
+	}
+	k := base.Key()
+
+	armed := base
+	armed.Fairness = true
+	if armed.Key() != k {
+		t.Error("Fairness=true changed the science key")
+	}
+	armed.FairnessWindow = 10 * time.Millisecond
+	if armed.Key() != k {
+		t.Error("FairnessWindow changed the science key")
+	}
+
+	science := base
+	science.QueueBDP = 8
+	if science.Key() == k {
+		t.Error("QueueBDP did not change the science key (key is not discriminating)")
+	}
+}
+
+// TestFairnessMetamorphicWorkerWidth: the fairness report is derived from
+// deterministic byte counters sampled at fixed simulation times, so the
+// serialized report must be byte-identical whether the sweep ran serial or
+// 4-wide — and across a straight replay.
+func TestFairnessMetamorphicWorkerWidth(t *testing.T) {
+	cfgs := make([]Config, 3)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			Pairing:        Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+			AQM:            aqm.KindFIFO,
+			QueueBDP:       4,
+			Bottleneck:     50 * units.MegabitPerSec,
+			Duration:       2 * time.Second,
+			Seed:           uint64(i + 1),
+			Fairness:       true,
+			FairnessWindow: 100 * time.Millisecond,
+		}
+	}
+	serial, err := RunAll(cfgs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunAll(cfgs, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if serial[i].Errored() || wide[i].Errored() {
+			t.Fatalf("config %d errored: %q / %q", i, serial[i].Error, wide[i].Error)
+		}
+		if serial[i].Fairness == nil || wide[i].Fairness == nil {
+			t.Fatalf("config %d missing fairness report", i)
+		}
+		stripWall(&serial[i], &wide[i])
+		js, _ := json.Marshal(serial[i])
+		jw, _ := json.Marshal(wide[i])
+		if !bytes.Equal(js, jw) {
+			t.Fatalf("config %d: workers=1 vs workers=4 fairness diverged:\n%s\n%s", i, js, jw)
+		}
+	}
+
+	// Replay: the same config a second time, byte-identical report included.
+	again, err := Run(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(&again)
+	ja, _ := json.Marshal(serial[0])
+	jb, _ := json.Marshal(again)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("fairness replay diverged:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestFairnessStaggeredCubicConverges is the acceptance scenario: two CUBIC
+// flows starting 2 s apart on a FIFO dumbbell must converge to fairness in
+// finite time — after the second flow's start, not before it exists — and
+// end the run near-perfectly fair.
+func TestFairnessStaggeredCubicConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 10s of traffic; skipped in -short mode")
+	}
+	cfg := Config{
+		Pairing:        Pairing{CCA1: cca.Cubic, CCA2: cca.Cubic},
+		AQM:            aqm.KindFIFO,
+		QueueBDP:       2,
+		Bottleneck:     100 * units.MegabitPerSec,
+		Duration:       10 * time.Second,
+		FlowsPerSender: 1,
+		StartSpread:    2 * time.Second,
+		Fairness:       true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := res.Fairness
+	if fr == nil {
+		t.Fatal("no fairness report")
+	}
+	if !fr.Converged {
+		t.Fatalf("staggered CUBIC flows never converged: final Jain %.3f over %d windows",
+			fr.FinalJain, fr.Windows)
+	}
+	if fr.ConvergenceTime <= fr.ActiveFrom {
+		t.Fatalf("converged at %v, before all flows were active (%v) — the scan must start at ActiveFrom",
+			fr.ConvergenceTime, fr.ActiveFrom)
+	}
+	if fr.FinalJain < 0.95 {
+		t.Fatalf("final Jain = %.4f, want ≥ 0.95 for homogeneous CUBIC", fr.FinalJain)
+	}
+	if len(fr.Episodes) != 0 {
+		t.Fatalf("homogeneous CUBIC reported starvation: %+v", fr.Episodes)
+	}
+}
+
+// TestFairnessBBRStarvesCubicInDeepFIFO is the second acceptance scenario:
+// BBRv1 against CUBIC in a deep (4×BDP) FIFO. BBRv1's startup overshoot
+// crushes CUBIC early — the detectors must report at least one starvation
+// episode with the CUBIC flow as victim and the BBR flow among the
+// culprits (Hock et al.'s observation, the paper's central unfairness
+// case).
+func TestFairnessBBRStarvesCubicInDeepFIFO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 10s of traffic; skipped in -short mode")
+	}
+	cfg := Config{
+		Pairing:        Pairing{CCA1: cca.BBRv1, CCA2: cca.Cubic},
+		AQM:            aqm.KindFIFO,
+		QueueBDP:       4,
+		Bottleneck:     100 * units.MegabitPerSec,
+		Duration:       10 * time.Second,
+		FlowsPerSender: 1,
+		Fairness:       true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := res.Fairness
+	if fr == nil {
+		t.Fatal("no fairness report")
+	}
+	if len(fr.Episodes) == 0 {
+		t.Fatalf("no starvation episode detected (min Jain %.3f, time below floor %v)",
+			fr.MinJain, fr.TimeBelowFloor)
+	}
+	ep := fr.Episodes[0]
+	if ep.CCA != "cubic" {
+		t.Errorf("victim = %s, want the cubic flow", ep.CCA)
+	}
+	if ep.End <= ep.Start {
+		t.Errorf("episode span %v-%v is empty", ep.Start, ep.End)
+	}
+	foundBBR := false
+	for _, c := range ep.Culprits {
+		for _, f := range fr.Flows {
+			if f.ID == c && f.CCA == "bbr1" {
+				foundBBR = true
+			}
+		}
+	}
+	if !foundBBR {
+		t.Errorf("culprits = %v, want the bbr1 flow among them", ep.Culprits)
+	}
+	if fr.TimeBelowFloor == 0 {
+		t.Error("starved run reported zero time below the Jain floor")
+	}
+}

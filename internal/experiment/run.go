@@ -72,6 +72,16 @@ type Result struct {
 	// legacy result bytes are unchanged.
 	FCT *FCTResult `json:"fct,omitempty"`
 
+	// Fairness carries the fairness observatory's windowed Jain(t)/share
+	// series and detector findings (convergence time, time-to-fair-share,
+	// starvation episodes) when Config.Fairness was set; nil otherwise so
+	// legacy result bytes are unchanged. The observatory is observation-
+	// only: every science field above is byte-identical with it on or off,
+	// and its knobs are excluded from Config.Key(), so cached results
+	// simulated without it still serve fairness-armed specs (minus this
+	// block), exactly like traces.
+	Fairness *metrics.FairnessReport `json:"fairness,omitempty"`
+
 	// Run metadata.
 	Flows      int           `json:"flows"`
 	SimSeconds float64       `json:"sim_seconds"`
@@ -151,6 +161,7 @@ func Run(cfg Config) (Result, error) {
 	// files, the sweepd cache, checkpoint journals).
 	recCfg := cfg
 	recCfg.Trace, recCfg.TraceRingCap, recCfg.TraceSampleN = false, 0, 0
+	recCfg.Fairness, recCfg.FairnessWindow = false, 0
 	net, err := BuildNet(eng, cfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("experiment %s: %w", cfg.ID(), err)
@@ -190,6 +201,7 @@ func Run(cfg Config) (Result, error) {
 		}
 		fr.Start()
 	}
+	fsam := AttachFairness(eng, net, cfg)
 
 	eng.RunFor(cfg.Duration)
 	if werr := eng.Overrun(); werr != nil {
@@ -253,7 +265,34 @@ func Run(cfg Config) (Result, error) {
 	if fr != nil {
 		res.FCT = FCTFromRunner(fr)
 	}
+	if fsam != nil {
+		res.Fairness = fsam.Report(metrics.DefaultDetector())
+		// The sampler's timer ticks executed on the engine; subtract them
+		// so the event-count fingerprint matches an observatory-off run.
+		res.Events -= fsam.Ticks()
+	}
 	return res, nil
+}
+
+// AttachFairness arms the fairness observatory on a built network when the
+// configuration asks for it, tracking every long-running flow (open-loop
+// ephemeral flows are churn, not elephants — they are not in net.Flows()
+// and stay out of the fairness series). Returns nil when Config.Fairness
+// is off: the disabled path installs no timer and no per-packet work at
+// all, so it is provably free, like tracing. Call after all flows attach
+// and before the engine runs.
+func AttachFairness(eng *sim.Engine, net *topo.Network, cfg Config) *metrics.FairnessSampler {
+	if !cfg.Fairness {
+		return nil
+	}
+	fsam := metrics.NewFairnessSampler(eng, cfg.FairnessWindow, cfg.Duration, cfg.Bottleneck)
+	for _, f := range net.Flows() {
+		conn, rcv := f.Conn, f.Rcv
+		fsam.TrackFlow(uint32(f.ID), f.CCName, f.Sender, rcv.Goodput,
+			func() uint64 { return conn.Stats().Retransmits })
+	}
+	fsam.Start()
+	return fsam
 }
 
 // BuildNet instantiates the config's topology (Config.Topology, or the

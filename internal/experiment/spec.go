@@ -65,6 +65,11 @@ type GridSpec struct {
 	MaxWall string `json:"max_wall,omitempty"`
 	// Audit arms the runtime invariant auditor on every run.
 	Audit bool `json:"audit,omitempty"`
+	// Fairness arms the fairness observatory on every run: windowed
+	// Jain/share series plus convergence and starvation detectors, attached
+	// to each result as its fairness block. Observation-only — excluded
+	// from config identity, so armed and plain runs share cache entries.
+	Fairness bool `json:"fairness,omitempty"`
 }
 
 // RegisterFlags binds the spec's fields to the canonical sweep flag names
@@ -85,6 +90,7 @@ func (s *GridSpec) RegisterFlags(fs *flag.FlagSet) {
 	fs.Uint64Var(&s.MaxEvents, "max-events", s.MaxEvents, "per-run watchdog: abort a configuration after this many simulator events (0 = unlimited)")
 	fs.StringVar(&s.MaxWall, "max-wall", s.MaxWall, "per-run watchdog: abort a configuration after this much wall time (empty = unlimited)")
 	fs.BoolVar(&s.Audit, "audit", s.Audit, "enable the runtime invariant auditor on every run; violations become errored results")
+	fs.BoolVar(&s.Fairness, "fairness", s.Fairness, "arm the fairness observatory on every run: windowed Jain(t)/share series, convergence time, starvation episodes")
 }
 
 // parsed is the typed expansion of a GridSpec's string fields.
@@ -230,6 +236,7 @@ func (s GridSpec) Expand() ([]Config, error) {
 		cfgs[i].MaxEvents = s.MaxEvents
 		cfgs[i].MaxWall = p.maxWall
 		cfgs[i].Audit = s.Audit
+		cfgs[i].Fairness = s.Fairness
 	}
 	if p.flowSpec != nil {
 		// One solo FCT baseline per distinct non-pairing condition in the

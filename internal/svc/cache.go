@@ -14,7 +14,6 @@ package svc
 
 import (
 	"fmt"
-	"log"
 	"sync"
 	"sync/atomic"
 
@@ -74,8 +73,13 @@ func OpenCache(path string) (*Cache, error) {
 		if qfile == "" {
 			qfile = "(not retained)"
 		}
-		log.Printf("svc: journal %s: repaired on boot: dropped %d corrupt, %d key-mismatched, %d oversized region(s); %d live results kept (damage quarantined to %s)",
-			path, st.Corrupt, st.KeyMismatch, st.Oversized, ck.Len(), qfile)
+		logger().Warn("journal repaired on boot",
+			"journal", path,
+			"dropped_corrupt", st.Corrupt,
+			"dropped_key_mismatched", st.KeyMismatch,
+			"dropped_oversized", st.Oversized,
+			"live_results", ck.Len(),
+			"quarantine", qfile)
 	}
 	c.ck = ck
 	for _, res := range ck.Results() {
@@ -151,7 +155,7 @@ func (c *Cache) journalFailLocked(err error) {
 	c.lastErr = err.Error()
 	if !c.degraded {
 		c.degraded = true
-		log.Printf("svc: journal degraded, shedding writes to memory overflow: %v", err)
+		logger().Error("journal degraded, shedding writes to memory overflow", "err", err)
 	}
 }
 
@@ -168,7 +172,7 @@ func (c *Cache) drainLocked() {
 	}
 	if len(c.overflow) == 0 && c.degraded {
 		c.degraded = false
-		log.Printf("svc: journal recovered, overflow drained")
+		logger().Info("journal recovered, overflow drained")
 	}
 }
 

@@ -3,7 +3,6 @@ package svc
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -249,7 +248,11 @@ func (c *Coordinator) quarantineTaskLocked(t *clusterTask) {
 	}
 	c.quarantine[t.key] = rec
 	c.c.configsQuarantined++
-	log.Printf("sweepd: quarantined config %s (key %s): %s", t.cfg.ID(), t.key, strings.Join(t.failLog, "; "))
+	logger().Warn("config quarantined as poison",
+		"config_id", t.cfg.ID(),
+		"config_key", t.key,
+		"failures", t.failures,
+		"fail_log", strings.Join(t.failLog, "; "))
 }
 
 // deliverQuarantined answers the waiters of freshly quarantined tasks.
@@ -498,7 +501,11 @@ func (c *Coordinator) upload(workerID string, res experiment.Result) (duplicate 
 		// Journal failures must not corrupt science (same policy as the
 		// pool): the result still reaches its waiters, the cache entry
 		// stays memory-only.
-		log.Printf("sweepd: cluster journal append: %v", err)
+		logger().Error("cluster journal append failed",
+			"err", err,
+			"worker_id", workerID,
+			"config_id", res.Config.ID(),
+			"config_key", res.Config.Key())
 	}
 	c.mu.Unlock()
 	for _, w := range ws {

@@ -408,9 +408,13 @@ func TestClusterUploadIdempotent(t *testing.T) {
 	waitDone(t, client, st.ID)
 }
 
-// heapInuse strips the only nondeterministic line from a fresh
-// coordinator's /metrics.
-var heapInuse = regexp.MustCompile(`(?m)^sweepd_heap_inuse_bytes .*$`)
+// heapInuse and buildInfo strip the nondeterministic lines from a fresh
+// coordinator's /metrics: the heap gauge measures the machine, and the
+// build_info labels carry the Go toolchain version.
+var (
+	heapInuse = regexp.MustCompile(`(?m)^sweepd_heap_inuse_bytes .*$`)
+	buildInfo = regexp.MustCompile(`(?m)^sweepd_build_info\{.*\} 1$`)
+)
 
 // TestClusterMetricsGolden pins the coordinator-mode /metrics surface: the
 // cluster gauges and counters, with the pool section absent (workers
@@ -422,6 +426,7 @@ func TestClusterMetricsGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := heapInuse.ReplaceAll(body, []byte("sweepd_heap_inuse_bytes STRIPPED"))
+	got = buildInfo.ReplaceAll(got, []byte(`sweepd_build_info{version="STRIPPED",go_version="STRIPPED"} 1`))
 	checkGolden(t, "cluster_metrics.golden.txt", got)
 }
 

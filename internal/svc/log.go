@@ -1,0 +1,47 @@
+package svc
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// The package logger: structured slog, swappable at startup by
+// ConfigureLogging (sweepd's -log-format flag) and by tests. Stored
+// atomically so handlers on live servers read it without coordination.
+var pkgLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	pkgLogger.Store(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
+
+// logger returns the current package logger.
+func logger() *slog.Logger { return pkgLogger.Load() }
+
+// SetLogger replaces the package logger (tests, embedding callers).
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		pkgLogger.Store(l)
+	}
+}
+
+// ConfigureLogging selects the package log encoding: "text" (the default,
+// human-oriented key=value lines) or "json" (one JSON object per line, for
+// log pipelines). Every svc log line carries structured fields — config
+// IDs and science keys, job and worker IDs — whichever encoding is chosen.
+func ConfigureLogging(format string, w io.Writer) error {
+	if w == nil {
+		w = os.Stderr
+	}
+	switch format {
+	case "", "text":
+		pkgLogger.Store(slog.New(slog.NewTextHandler(w, nil)))
+	case "json":
+		pkgLogger.Store(slog.New(slog.NewJSONHandler(w, nil)))
+	default:
+		return fmt.Errorf("svc: unknown log format %q (want text or json)", format)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestConfigureLogging pins the -log-format contract: text emits key=value
+// lines, json emits one parseable object per line with the structured
+// fields intact, and an unknown format is rejected before the daemon
+// starts.
+func TestConfigureLogging(t *testing.T) {
+	defer ConfigureLogging("text", os.Stderr)
+
+	var buf bytes.Buffer
+	if err := ConfigureLogging("json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	logger().Warn("journal repaired on boot", "dropped", 3, "path", "/tmp/j")
+	line := strings.TrimSpace(buf.String())
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("json format emitted a non-JSON line %q: %v", line, err)
+	}
+	if obj["msg"] != "journal repaired on boot" || obj["dropped"] != float64(3) {
+		t.Fatalf("structured fields lost in json encoding: %v", obj)
+	}
+
+	buf.Reset()
+	if err := ConfigureLogging("text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	logger().Info("journal recovered, overflow drained", "job", "abc")
+	if got := buf.String(); !strings.Contains(got, "job=abc") {
+		t.Fatalf("text format lost the structured field: %q", got)
+	}
+
+	if err := ConfigureLogging("bogus", &buf); err == nil {
+		t.Fatal("unknown log format accepted")
+	}
+	if err := ConfigureLogging("", &buf); err != nil {
+		t.Fatalf("empty format must default to text: %v", err)
+	}
+}

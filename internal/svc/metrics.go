@@ -9,6 +9,11 @@ import (
 	"time"
 )
 
+// buildVersion identifies the binary on /metrics. Overridable at link time:
+//
+//	go build -ldflags "-X repro/internal/svc.buildVersion=v1.2.3"
+var buildVersion = "dev"
+
 // histogram is a fixed-bucket Prometheus-style histogram. It is plain data;
 // the owner serializes access (the pool holds it under histMu).
 type histogram struct {
@@ -99,6 +104,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
 			name, help, name, kind, name, strconv.FormatFloat(value, 'g', -1, 64))
 	}
+	// The emit helper is label-less; build_info is the one labeled gauge.
+	fmt.Fprintf(&b, "# HELP sweepd_build_info Build metadata: constant 1 labeled with the binary version and Go toolchain.\n"+
+		"# TYPE sweepd_build_info gauge\nsweepd_build_info{version=%q,go_version=%q} 1\n",
+		buildVersion, runtime.Version())
 	emit("sweepd_jobs_queued", "gauge",
 		"Jobs accepted with no configuration finished yet.", float64(m.jobsQueued))
 	emit("sweepd_jobs_running", "gauge",
@@ -162,6 +171,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"Simulator event rate of each simulated configuration.", rateHist)
 		emit("sweepd_sim_peak_queue_bytes", "gauge",
 			"Largest bottleneck-queue occupancy (bytes) any simulated configuration reached.", float64(peakQ))
+		convHist, episodes := s.pool.FairnessStats()
+		emitHist("sweepd_fairness_convergence_seconds",
+			"Sim-time until the windowed Jain index first sustained the convergence threshold, per converged fairness-armed configuration.", convHist)
+		emit("sweepd_fairness_episodes_total", "counter",
+			"Starvation episodes detected across all fairness-armed configurations.", float64(episodes))
 	}
 
 	if s.cluster != nil {

@@ -109,10 +109,12 @@ type Pool struct {
 	// Per-config distributions for /metrics (guarded by histMu: observations
 	// are one per simulation and scrapes are rare, so a lock beats juggling
 	// per-bucket atomics).
-	histMu    sync.Mutex
-	wallHist  histogram // wall seconds per simulated config
-	rateHist  histogram // simulator events/sec per simulated config
-	peakQueue int64     // largest Result.PeakQueueBytes observed
+	histMu       sync.Mutex
+	wallHist     histogram // wall seconds per simulated config
+	rateHist     histogram // simulator events/sec per simulated config
+	peakQueue    int64     // largest Result.PeakQueueBytes observed
+	convHist     histogram // fairness convergence time (sim seconds) per converged config
+	fairEpisodes uint64    // starvation episodes detected across all configs
 }
 
 // testHookBeforeSim, when non-nil, runs in the shard worker immediately
@@ -139,6 +141,7 @@ func NewPool(shards int, run func(experiment.Config) experiment.Result, onDone f
 		lookup:   lookup,
 		wallHist: newHistogram(0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300),
 		rateHist: newHistogram(1e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8),
+		convHist: newHistogram(0.1, 0.5, 1, 2, 5, 10, 30, 60, 120),
 	}
 	for i := range p.shards {
 		sh := &shard{}
@@ -304,6 +307,12 @@ func (p *Pool) recordSim(res experiment.Result) {
 	if res.PeakQueueBytes > p.peakQueue {
 		p.peakQueue = res.PeakQueueBytes
 	}
+	if fr := res.Fairness; fr != nil {
+		if fr.Converged {
+			p.convHist.observe(fr.ConvergenceTime.Seconds())
+		}
+		p.fairEpisodes += uint64(len(fr.Episodes))
+	}
 	p.histMu.Unlock()
 }
 
@@ -313,6 +322,15 @@ func (p *Pool) Histograms() (wall, rate histogram, peakQueueBytes int64) {
 	p.histMu.Lock()
 	defer p.histMu.Unlock()
 	return p.wallHist.clone(), p.rateHist.clone(), p.peakQueue
+}
+
+// FairnessStats returns a deep copy of the convergence-time distribution
+// (sim seconds, converged configs only) and the cumulative starvation
+// episode count, for /metrics.
+func (p *Pool) FairnessStats() (conv histogram, episodes uint64) {
+	p.histMu.Lock()
+	defer p.histMu.Unlock()
+	return p.convHist.clone(), p.fairEpisodes
 }
 
 // Sims, Coalesced, SimEvents, and SimWallNS expose the pool counters for

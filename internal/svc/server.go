@@ -3,7 +3,6 @@ package svc
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -31,6 +30,14 @@ type Options struct {
 	// timelines. Like Audit, tracing is observation-only and excluded from
 	// config identity, so traced results still serve untraced specs.
 	Trace bool
+	// Fairness arms the fairness observatory (windowed Jain/share series,
+	// convergence and starvation detectors) on every configuration the
+	// daemon simulates, making GET /v1/sweeps/{id}/fairness serve the
+	// per-config reports. Like Audit and Trace, the sampler is
+	// observation-only and excluded from config identity, so fairness-armed
+	// results still serve plain specs (and vice versa: cached plain results
+	// simply lack the block).
+	Fairness bool
 	// Pprof mounts net/http/pprof under /debug/pprof/ (default off: the
 	// profiler exposes heap contents and should not face untrusted clients).
 	Pprof bool
@@ -73,7 +80,10 @@ func New(opts Options) (*Server, error) {
 		// Journal failures must not corrupt science: the result still
 		// reaches its waiters, the cache just stays cold for that config.
 		if err := s.cache.Put(res); err != nil {
-			log.Printf("sweepd: journal append: %v", err)
+			logger().Error("journal append failed",
+				"err", err,
+				"config_id", res.Config.ID(),
+				"config_key", res.Config.Key())
 		}
 	}, cache.peek)
 	return s, nil
@@ -126,6 +136,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/sweeps/{id}/fairness", s.handleFairness)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if degraded, overflow, errs, lastErr := s.cache.Degraded(); degraded {
@@ -201,6 +212,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			cfgs[i].Trace = true
 		}
 	}
+	if s.opts.Fairness {
+		for i := range cfgs {
+			cfgs[i].Fairness = true
+		}
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -222,7 +238,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Successful sweep completion: fold the journal down to one
 			// line per live config before it grows across jobs.
 			if err := s.cache.Compact(); err != nil {
-				log.Printf("sweepd: journal compact: %v", err)
+				logger().Error("journal compact failed", "err", err, "job", key)
 			}
 		}
 	}
@@ -388,6 +404,59 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleFairness streams the completed job's fairness reports as NDJSON,
+// one line per fairness-armed configuration:
+//
+//	{"config":"<science key>","id":"<human id>","fairness":{...}}
+//
+// ?config=<key> narrows the stream to one configuration. Results served
+// from a cache populated by fairness-off runs carry no report, so those
+// configurations are silently absent; a stream with nothing to say is a
+// 404 pointing at the -fairness flag. cmd/sweep -fairness-out writes the
+// same byte shape for offline diffing.
+func (s *Server) handleFairness(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	results, ok := j.Results()
+	if !ok {
+		st := j.Status()
+		httpError(w, http.StatusConflict, "sweep not complete: state=%s done=%d/%d",
+			st.State, st.Done, st.Total)
+		return
+	}
+	want := r.URL.Query().Get("config")
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	enc := json.NewEncoder(w)
+	for i := range results {
+		res := &results[i]
+		if want != "" && want != j.keys[i] {
+			continue
+		}
+		if res.Fairness == nil {
+			continue
+		}
+		if n == 0 {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		line := experiment.FairnessLine{Config: j.keys[i], ID: res.Config.ID(), Fairness: res.Fairness}
+		if err := enc.Encode(line); err != nil {
+			return // client went away mid-stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		n++
+	}
+	if n == 0 {
+		httpError(w, http.StatusNotFound,
+			"no fairness reports recorded for this sweep (start sweepd with -fairness or set fairness in the spec, or the results were served from a fairness-off cache)")
+	}
+}
+
 // handleReport renders the completed job through the cmd/report path
 // (paper.Report): claim checklist, Table 3 comparison, and optionally the
 // figure panels (?figures=0 to omit).
@@ -407,6 +476,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Note:           j.Spec.Note(),
 		IncludeFigures: r.URL.Query().Get("figures") != "0",
 		FCTMatrix:      experiment.HarmFCTMatrix(results),
+		FairnessTable:  experiment.FairnessTable(results),
 	})
 	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
 	w.Write([]byte(md))
